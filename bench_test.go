@@ -1,0 +1,186 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus throughput benchmarks for the simulator
+// substrate. Each experiment benchmark runs its full configuration
+// sweep over a capped slice of the workload and reports the headline
+// metric the paper's artifact shows, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation in miniature; cmd/sweep runs the
+// same experiments at full length.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mips"
+	"repro/internal/progs"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// benchOpt caps each configuration run so a full sweep stays in
+// benchmark-friendly time. Absolute numbers at this cap are colder than
+// the full-suite results recorded in EXPERIMENTS.md.
+var benchOpt = experiments.Options{MaxInstructions: 400_000}
+
+func BenchmarkTable1Characterize(b *testing.B) {
+	rec := workload.Record(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := workload.Table1(rec)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig2MultiprogrammingLevel(b *testing.B) {
+	var last []experiments.Fig2Row
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig2(benchOpt)
+	}
+	b.ReportMetric(last[len(last)-1].CPI, "CPI@16")
+}
+
+func BenchmarkFig3TimeSlice(b *testing.B) {
+	var last []experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig3(benchOpt)
+	}
+	b.ReportMetric(last[len(last)-1].CPI, "CPI@10M")
+}
+
+func BenchmarkFig4BaseBreakdown(b *testing.B) {
+	var last experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		last = experiments.Fig4(benchOpt)
+	}
+	b.ReportMetric(last.Total, "CPI")
+}
+
+func BenchmarkFig5WritePolicy(b *testing.B) {
+	var rows []experiments.Fig5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig5(benchOpt)
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
+func BenchmarkFig5WritePolicyCalibrated(b *testing.B) {
+	var cross int
+	for i := 0; i < b.N; i++ {
+		cross = experiments.Fig5Crossover(experiments.Fig5Calibrated(experiments.Options{}))
+	}
+	b.ReportMetric(float64(cross), "crossover-cycles")
+}
+
+func BenchmarkFig6L2Organization(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig6(benchOpt)
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
+func BenchmarkTable2L2MissRatio(b *testing.B) {
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig6Calibrated(experiments.Options{MaxInstructions: 400_000})
+	}
+	u, _ := experiments.Fig6At(rows, 1024*1024, experiments.L2Org{Split: false, Ways: 1})
+	b.ReportMetric(u.MissRatio, "missratio@1024K")
+}
+
+func BenchmarkFig7L2ISpeedSize(b *testing.B) {
+	var rows []experiments.SpeedSizeRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig7(benchOpt)
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
+func BenchmarkFig8L2DSpeedSize(b *testing.B) {
+	var rows []experiments.SpeedSizeRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig8(benchOpt)
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
+func BenchmarkFig9Optimizations(b *testing.B) {
+	var rows []experiments.StageRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig9(benchOpt)
+	}
+	b.ReportMetric(rows[2].CPI, "CPI-optimized")
+}
+
+func BenchmarkFig10Concurrency(b *testing.B) {
+	var rows []experiments.StageRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig10(benchOpt)
+	}
+	b.ReportMetric(rows[len(rows)-1].CPI, "CPI-final")
+}
+
+// --- substrate throughput ---
+
+// BenchmarkSimulatorThroughput measures raw trace-replay speed through
+// the base architecture, in simulated instructions per b.N op.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	rec := workload.Record(1)
+	const cap = 1_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := sim.MustRun(core.Base(), workload.ReplayProcesses(rec),
+			sched.Config{MaxInstructions: cap})
+		if res.Stats.Instructions != cap {
+			b.Fatal("short run")
+		}
+	}
+	b.ReportMetric(float64(cap*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkEmulatorThroughput measures the MIPS emulator alone.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	prog := progs.Sieve().Program(1)
+	var ev trace.Event
+	b.ResetTimer()
+	steps := uint64(0)
+	for i := 0; i < b.N; i++ {
+		cpu := mips.NewCPU(prog)
+		for n := 0; n < 500_000 && cpu.Next(&ev); n++ {
+		}
+		steps += cpu.Steps()
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkSynthThroughput measures the synthetic trace generator.
+func BenchmarkSynthThroughput(b *testing.B) {
+	var ev trace.Event
+	for i := 0; i < b.N; i++ {
+		g := synth.New(synth.Config{Instructions: 500_000, Seed: uint64(i + 1)})
+		for g.Next(&ev) {
+		}
+	}
+	b.ReportMetric(float64(500_000*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkSystemStep measures the per-event cost of the cache model on
+// a synthetic stream, the simulator's innermost loop.
+func BenchmarkSystemStep(b *testing.B) {
+	events := trace.Collect(synth.New(synth.Config{Instructions: 100_000, Seed: 7})).Events()
+	sys := core.MustNewSystem(core.Base())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := &events[i%len(events)]
+		sys.Step(1, ev)
+	}
+}

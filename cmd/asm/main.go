@@ -1,0 +1,76 @@
+// Command asm drives the MIPS-I-subset assembler standalone: it
+// assembles a source file, prints a disassembly listing, and can run
+// the program in the emulator.
+//
+//	asm prog.s              # assemble and print the listing
+//	asm -run prog.s         # assemble, run, print program output
+//	asm -bench sieve        # show a built-in benchmark's listing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mips"
+	"repro/internal/progs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "asm:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		doRun    = flag.Bool("run", false, "execute the program after assembling")
+		maxSteps = flag.Uint64("maxsteps", 100_000_000, "execution step limit")
+		bench    = flag.String("bench", "", "show a built-in benchmark instead of a file")
+		scale    = flag.Int("scale", 1, "benchmark scale (with -bench)")
+		quiet    = flag.Bool("q", false, "suppress the listing")
+	)
+	flag.Parse()
+
+	var prog *mips.Program
+	switch {
+	case *bench != "":
+		b, err := progs.ByName(*bench)
+		if err != nil {
+			return err
+		}
+		prog = b.Program(*scale)
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		prog, err = mips.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("need a source file or -bench")
+	}
+
+	if !*quiet {
+		fmt.Print(mips.DisassembleProgram(prog))
+		fmt.Printf("# %d instructions (%d bytes text), %d bytes data, entry %#x\n",
+			len(prog.Text), len(prog.Text)*4, len(prog.Data), prog.Entry)
+	}
+	if !*doRun {
+		return nil
+	}
+	cpu := mips.NewCPU(prog)
+	cpu.MaxSteps = *maxSteps
+	if err := cpu.Run(0); err != nil {
+		return err
+	}
+	fmt.Printf("# ran %d instructions, exit code %d\n", cpu.Steps(), cpu.ExitCode())
+	if out := cpu.Output(); out != "" {
+		fmt.Print(out)
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+// Command cachesim runs the multiprogrammed workload (or a trace file)
+// through one configured memory hierarchy and prints the CPI breakdown,
+// miss ratios, and scheduling statistics — the reproduction's
+// equivalent of one run of the paper's trace-driven simulator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		preset    = flag.String("preset", "base", "architecture preset: base | optimized")
+		policy    = flag.String("policy", "", "override write policy: writeback | wmi | writeonly | subblock")
+		l2Size    = flag.Int("l2", 0, "override unified L2 size in KW (0 = preset)")
+		l2Access  = flag.Int("l2access", 0, "override L2 access time in cycles (0 = preset)")
+		l2Split   = flag.Bool("split", false, "split the (unified) L2 into equal halves")
+		dirtyBuf  = flag.Bool("dirtybuffer", false, "add the L2 dirty buffer")
+		lps       = flag.String("lps", "", "loads-pass-stores: none | assoc | dirtybit")
+		level     = flag.Int("level", 8, "multiprogramming level")
+		slice     = flag.Uint64("slice", sched.DefaultTimeSlice, "time slice in cycles")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		maxInstr  = flag.Uint64("max", 0, "stop after this many instructions (0 = all)")
+		traceFile = flag.String("trace", "", "simulate a single recorded trace file instead of the suite")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*preset, *policy, *l2Size, *l2Access, *l2Split, *dirtyBuf, *lps)
+	if err != nil {
+		return err
+	}
+
+	var procs []sched.Process
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		mt, err := trace.ReadAll(f)
+		if err != nil {
+			return err
+		}
+		procs = []sched.Process{{Name: *traceFile, Stream: mt}}
+	} else {
+		procs = workload.Processes(*scale)
+	}
+
+	res, err := sim.Run(cfg, procs, sched.Config{
+		Level:           *level,
+		TimeSlice:       *slice,
+		MaxInstructions: *maxInstr,
+	})
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+
+	fmt.Println("architecture:", cfg)
+	fmt.Println(st.Breakdown())
+	fmt.Printf("miss ratios: L1-I %.4f  L1-D %.4f (read %.4f, write %.4f)  L2 %.4f (I %.4f, D %.4f)\n",
+		st.L1IMissRatio(), st.L1DMissRatio(), st.L1DReadMissRatio(), st.L1DWriteMissRatio(),
+		st.L2MissRatio(), st.L2IMissRatio(), st.L2DMissRatio())
+	fmt.Printf("TLB misses: I %d  D %d\n", st.ITLBMisses, st.DTLBMisses)
+	fmt.Printf("write buffer: %d enqueues, %d full stalls, %d flushes\n",
+		st.WBEnqueues, st.WBFullStalls, st.WBFlushes)
+	fmt.Printf("scheduler: %s\n", res.Sched)
+	return nil
+}
+
+func buildConfig(preset, policy string, l2KW, l2Access int, split, dirtyBuf bool, lps string) (core.Config, error) {
+	var cfg core.Config
+	switch preset {
+	case "base":
+		cfg = core.Base()
+	case "optimized":
+		cfg = core.Optimized()
+	default:
+		return cfg, fmt.Errorf("unknown preset %q", preset)
+	}
+	switch policy {
+	case "":
+	case "writeback":
+		cfg.WritePolicy = core.WriteBack
+		cfg.WBEntries, cfg.WBEntryWords = 4, 4
+		cfg.LoadsPassStores = core.LPSNone
+	case "wmi":
+		cfg.WritePolicy = core.WriteMissInvalidate
+		cfg.WBEntries, cfg.WBEntryWords = 8, 1
+	case "writeonly":
+		cfg.WritePolicy = core.WriteOnly
+		cfg.WBEntries, cfg.WBEntryWords = 8, 1
+	case "subblock":
+		cfg.WritePolicy = core.Subblock
+		cfg.WBEntries, cfg.WBEntryWords = 8, 1
+	default:
+		return cfg, fmt.Errorf("unknown policy %q", policy)
+	}
+	if lps != "" && cfg.WritePolicy == core.WriteMissInvalidate && lps == "dirtybit" {
+		return cfg, fmt.Errorf("the dirty-bit scheme requires the write-only policy")
+	}
+	if l2KW > 0 {
+		cfg.L2U.Geom.SizeWords = l2KW * 1024
+	}
+	if l2Access > 0 {
+		cfg.L2U.Timing = core.TimingForAccess(l2Access)
+	}
+	if split && !cfg.L2Split {
+		cfg.L2Split = true
+		cfg.L2I, cfg.L2D = core.SplitBank(cfg.L2U)
+	}
+	if dirtyBuf {
+		cfg.L2DirtyBuffer = true
+	}
+	switch lps {
+	case "":
+	case "none":
+		cfg.LoadsPassStores = core.LPSNone
+	case "assoc":
+		cfg.LoadsPassStores = core.LPSAssociative
+	case "dirtybit":
+		cfg.LoadsPassStores = core.LPSDirtyBit
+	default:
+		return cfg, fmt.Errorf("unknown loads-pass-stores scheme %q", lps)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuildConfigPresets(t *testing.T) {
+	cfg, err := buildConfig("base", "", 0, 0, false, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WritePolicy != core.WriteBack || cfg.L2Split {
+		t.Fatalf("base preset wrong: %+v", cfg)
+	}
+	cfg, err = buildConfig("optimized", "", 0, 0, false, false, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WritePolicy != core.WriteOnly || !cfg.L2Split || !cfg.L2DirtyBuffer {
+		t.Fatalf("optimized preset wrong: %+v", cfg)
+	}
+	if _, err := buildConfig("bogus", "", 0, 0, false, false, ""); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestBuildConfigPolicyOverrides(t *testing.T) {
+	for policy, want := range map[string]core.WritePolicy{
+		"writeback": core.WriteBack,
+		"wmi":       core.WriteMissInvalidate,
+		"writeonly": core.WriteOnly,
+		"subblock":  core.Subblock,
+	} {
+		cfg, err := buildConfig("base", policy, 0, 0, false, false, "")
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if cfg.WritePolicy != want {
+			t.Fatalf("%s: policy %v", policy, cfg.WritePolicy)
+		}
+		if want == core.WriteBack && cfg.WBEntryWords != 4 {
+			t.Fatal("write-back must use the wide buffer")
+		}
+		if want != core.WriteBack && (cfg.WBEntries != 8 || cfg.WBEntryWords != 1) {
+			t.Fatalf("%s: buffer %dx%dW, want 8x1W", policy, cfg.WBEntries, cfg.WBEntryWords)
+		}
+	}
+	if _, err := buildConfig("base", "nonsense", 0, 0, false, false, ""); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestBuildConfigL2AndSplit(t *testing.T) {
+	cfg, err := buildConfig("base", "writeonly", 64, 8, true, true, "dirtybit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.L2Split {
+		t.Fatal("split not applied")
+	}
+	if cfg.L2I.Geom.SizeWords != 32*1024 || cfg.L2D.Geom.SizeWords != 32*1024 {
+		t.Fatalf("split halves %d/%d, want 32K each", cfg.L2I.Geom.SizeWords, cfg.L2D.Geom.SizeWords)
+	}
+	if got := cfg.L2I.Timing.AccessTime(); got != 8 {
+		t.Fatalf("access time %d, want 8", got)
+	}
+	if !cfg.L2DirtyBuffer || cfg.LoadsPassStores != core.LPSDirtyBit {
+		t.Fatalf("concurrency flags wrong: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildConfigRejectsBadCombos(t *testing.T) {
+	if _, err := buildConfig("base", "wmi", 0, 0, false, false, "dirtybit"); err == nil {
+		t.Fatal("dirty-bit with WMI accepted")
+	}
+	if _, err := buildConfig("base", "", 0, 0, false, false, "warp"); err == nil {
+		t.Fatal("unknown LPS mode accepted")
+	}
+	// Loads-pass-stores on the base write-back policy must fail
+	// validation.
+	if _, err := buildConfig("base", "", 0, 0, false, false, "assoc"); err == nil {
+		t.Fatal("LPS with write-back accepted")
+	}
+}

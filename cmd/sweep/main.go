@@ -1,0 +1,66 @@
+// Command sweep runs the paper's experiments and prints paper-style
+// tables. With no -exp flag it runs everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or comma list; 'all' runs everything; 'list' prints ids")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	level := flag.Int("level", 0, "multiprogramming level (0 = paper default 8)")
+	maxInstr := flag.Uint64("max", 0, "cap instructions per configuration run (0 = full suite)")
+	csvDir := flag.String("csv", "", "also export figure data as CSV files into this directory")
+	flag.Parse()
+
+	opt := experiments.Options{Scale: *scale, Level: *level, MaxInstructions: *maxInstr}
+	if *exp == "list" {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *csvDir != "" {
+		files, err := report.ExportAll(*csvDir, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csv export:", err)
+			os.Exit(1)
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		if *exp == "" {
+			return
+		}
+	}
+	var list []experiments.Experiment
+	if *exp == "all" {
+		list = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			list = append(list, e)
+		}
+	}
+	for _, e := range list {
+		start := time.Now()
+		out, err := e.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
+	}
+}

@@ -1,0 +1,131 @@
+// Command tracegen records benchmark address traces to the binary
+// trace-file format (the reproduction's pixie tapes) and inspects
+// existing trace files.
+//
+//	tracegen -bench sieve -o sieve.gtrc       # record one benchmark
+//	tracegen -synth -n 1000000 -o synth.gtrc  # record a synthetic trace
+//	tracegen -inspect sieve.gtrc              # characterize a file
+//	tracegen -dump sieve.gtrc -head 20        # print the first events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/progs"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bench    = flag.String("bench", "", "benchmark to record (see -list)")
+		list     = flag.Bool("list", false, "list available benchmarks")
+		scale    = flag.Int("scale", 1, "benchmark scale factor")
+		useSynth = flag.Bool("synth", false, "record a synthetic trace instead of a benchmark")
+		n        = flag.Uint64("n", 1_000_000, "synthetic trace length")
+		seed     = flag.Uint64("seed", 1, "synthetic trace seed")
+		out      = flag.String("o", "", "output trace file")
+		inspect  = flag.String("inspect", "", "characterize an existing trace file")
+		dump     = flag.String("dump", "", "dump events from an existing trace file")
+		head     = flag.Int("head", 10, "events to dump with -dump")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, b := range progs.All() {
+			fmt.Printf("%-8s (%s) %s\n", b.Name, b.Class, b.Description)
+		}
+		return nil
+
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		c := trace.Characterize(r)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		fmt.Println(c)
+		fmt.Printf("code pages: %d (%d KB)  data pages: %d (%d KB)  base CPI %.3f\n",
+			c.CodePages, c.CodePages*16, c.DataPages, c.DataPages*16, c.BaseCPI())
+		return nil
+
+	case *dump != "":
+		f, err := os.Open(*dump)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, err := trace.NewReader(f)
+		if err != nil {
+			return err
+		}
+		var ev trace.Event
+		for i := 0; i < *head && r.Next(&ev); i++ {
+			line := fmt.Sprintf("%08x", ev.PC)
+			if ev.Kind != trace.None {
+				line += fmt.Sprintf("  %-5s %08x size %d", ev.Kind, ev.Data, ev.Size)
+			}
+			if ev.Stall > 0 {
+				line += fmt.Sprintf("  stall %d", ev.Stall)
+			}
+			if ev.Syscall {
+				line += "  syscall"
+			}
+			fmt.Println(line)
+		}
+		return r.Err()
+
+	case *out != "":
+		var src trace.Stream
+		var name string
+		if *useSynth {
+			src = synth.New(synth.Config{Instructions: *n, Seed: *seed})
+			name = "synthetic"
+		} else {
+			if *bench == "" {
+				return fmt.Errorf("need -bench, -synth, -inspect, -dump, or -list")
+			}
+			b, err := progs.ByName(*bench)
+			if err != nil {
+				return err
+			}
+			cpu := b.NewCPU(*scale)
+			cpu.MaxSteps = 2_000_000_000
+			src = cpu
+			name = b.Name
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		count, err := trace.WriteAll(f, src)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events of %s to %s\n", count, name, *out)
+		return nil
+	}
+	flag.Usage()
+	return fmt.Errorf("nothing to do")
+}

@@ -1,0 +1,13 @@
+// Package repro is a reproduction of "Implementing a Cache for a
+// High-Performance GaAs Microprocessor" (Olukotun, Mudge, Brown;
+// ISCA 1991): a trace-driven, cycle-accounting simulator for the
+// two-level split cache of a 250 MHz GaAs MIPS microprocessor, the
+// MIPS-I-subset assembler/emulator that generates its workload traces,
+// and experiment harnesses that regenerate every table and figure of
+// the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The root
+// package exists to anchor the module's benchmark harness
+// (bench_test.go); the implementation lives under internal/.
+package repro

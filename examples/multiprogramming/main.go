@@ -1,0 +1,50 @@
+// Multiprogramming reproduces the paper's Section 3 methodology study:
+// the full benchmark suite is multiplexed round-robin onto the base
+// architecture at several multiprogramming levels and time slices,
+// showing why the paper settled on level 8 with a 500,000-cycle slice.
+//
+//	go run ./examples/multiprogramming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Record the suite once; every configuration replays the same
+	// traces, like re-reading pixie tapes.
+	recorded := workload.Record(1)
+
+	fmt.Println("multiprogramming level (slice = 500,000 cycles):")
+	fmt.Printf("%-7s %10s %10s %10s %8s %14s\n", "level", "L1-I miss", "L1-D miss", "L2 miss", "CPI", "cycles/switch")
+	for _, level := range []int{1, 2, 4, 8, 16} {
+		res, err := sim.Run(core.Base(), workload.ReplayProcesses(recorded), sched.Config{Level: level})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		fmt.Printf("%-7d %10.4f %10.4f %10.4f %8.3f %14.0f\n",
+			level, st.L1IMissRatio(), st.L1DMissRatio(), st.L2MissRatio(),
+			st.CPI(), res.Sched.CyclesPerSwitch)
+	}
+
+	fmt.Println("\ntime slice (level = 8):")
+	fmt.Printf("%-12s %10s %8s\n", "slice", "L2 miss", "CPI")
+	for _, slice := range []uint64{50_000, 500_000, 5_000_000} {
+		res, err := sim.Run(core.Base(), workload.ReplayProcesses(recorded),
+			sched.Config{Level: 8, TimeSlice: slice})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		fmt.Printf("%-12d %10.4f %8.3f\n", slice, st.L2MissRatio(), st.CPI())
+	}
+	fmt.Println("\n(the paper chose level 8 and a 500,000-cycle slice: beyond level 8")
+	fmt.Println(" performance is insensitive, and short slices waste the caches)")
+}

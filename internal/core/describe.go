@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String describes the architecture in the paper's vocabulary, e.g. for
+// simulator banners and logs.
+func (c Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "L1-I %s %dW-line", sizeLabel(c.L1I.SizeWords), c.L1I.LineWords)
+	if c.L1I.Ways > 1 {
+		fmt.Fprintf(&b, " %d-way", c.L1I.Ways)
+	}
+	fmt.Fprintf(&b, ", L1-D %s %dW-line %s", sizeLabel(c.L1D.SizeWords), c.L1D.LineWords, c.WritePolicy)
+	if c.L1D.Ways > 1 {
+		fmt.Fprintf(&b, " %d-way", c.L1D.Ways)
+	}
+	fmt.Fprintf(&b, ", WB %dx%dW", c.WBEntries, c.WBEntryWords)
+	if c.L2Split {
+		fmt.Fprintf(&b, ", split L2: I %s/%dcyc + D %s/%dcyc",
+			sizeLabel(c.L2I.Geom.SizeWords), c.L2I.Timing.AccessTime(),
+			sizeLabel(c.L2D.Geom.SizeWords), c.L2D.Timing.AccessTime())
+	} else {
+		fmt.Fprintf(&b, ", unified L2 %s/%dcyc", sizeLabel(c.L2U.Geom.SizeWords), c.L2U.Timing.AccessTime())
+	}
+	fmt.Fprintf(&b, ", mem %d/%d", c.MemCleanPenalty, c.MemDirtyPenalty)
+	var extras []string
+	if !c.IMissWaitsForWB {
+		extras = append(extras, "I-refill||WB")
+	}
+	if c.LoadsPassStores != LPSNone {
+		extras = append(extras, "LPS:"+c.LoadsPassStores.String())
+	}
+	if c.L2DirtyBuffer {
+		extras = append(extras, "L2 dirty buffer")
+	}
+	if len(extras) > 0 {
+		fmt.Fprintf(&b, " [%s]", strings.Join(extras, ", "))
+	}
+	return b.String()
+}
+
+func sizeLabel(words int) string {
+	if words%1024 == 0 {
+		return fmt.Sprintf("%dKW", words/1024)
+	}
+	return fmt.Sprintf("%dW", words)
+}

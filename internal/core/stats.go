@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cause labels a source of stall cycles for the Fig. 4 CPI stack.
+type Cause int
+
+const (
+	// CauseCPU: load-use interlocks, branch bubbles, multicycle
+	// operations — the trace's own stalls, independent of the memory
+	// system (the 1.238 CPI floor in the paper).
+	CauseCPU Cause = iota
+	// CauseL1IMiss: L1-I refill cycles from L2 (excluding main-memory
+	// penalties).
+	CauseL1IMiss
+	// CauseL1DMiss: L1-D refill cycles from L2 for read misses and
+	// write-allocate fetches (excluding main-memory penalties).
+	CauseL1DMiss
+	// CauseL1Write: the extra cycle of two-cycle write hits
+	// (write-back) or two-cycle write misses (write-through family).
+	CauseL1Write
+	// CauseWB: waiting for the write buffer — full-buffer stalls on
+	// stores and dirty evictions, wait-for-empty before misses, and
+	// flushes from the loads-pass-stores schemes.
+	CauseWB
+	// CauseL2IMiss: main-memory penalties for instruction-side L2
+	// misses.
+	CauseL2IMiss
+	// CauseL2DMiss: main-memory penalties for data-side L2 misses
+	// (refills and write-buffer drains that miss).
+	CauseL2DMiss
+	// CauseTLB: TLB miss penalties (zero in the paper's accounting).
+	CauseTLB
+
+	numCauses
+)
+
+// String returns the label used in the paper's Fig. 4.
+func (c Cause) String() string {
+	switch c {
+	case CauseCPU:
+		return "CPU"
+	case CauseL1IMiss:
+		return "L1-I miss"
+	case CauseL1DMiss:
+		return "L1-D miss"
+	case CauseL1Write:
+		return "L1 writes"
+	case CauseWB:
+		return "WB"
+	case CauseL2IMiss:
+		return "L2-I miss"
+	case CauseL2DMiss:
+		return "L2-D miss"
+	case CauseTLB:
+		return "TLB"
+	}
+	return fmt.Sprintf("Cause(%d)", int(c))
+}
+
+// Causes lists every cause in display order.
+func Causes() []Cause {
+	cs := make([]Cause, numCauses)
+	for i := range cs {
+		cs[i] = Cause(i)
+	}
+	return cs
+}
+
+// Stats accumulates event counts and attributed stall cycles.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Stalls       [numCauses]uint64
+
+	// Primary caches.
+	L1IAccesses, L1IMisses    uint64
+	L1DReads, L1DReadMisses   uint64
+	L1DWrites, L1DWriteMisses uint64
+	WriteOnlyReadMisses       uint64 // reads that missed on a write-only line
+	SubblockWordMisses        uint64 // reads with tag match but word invalid
+
+	// Write buffer.
+	WBEnqueues, WBFullStalls, WBFlushes uint64
+
+	// Secondary cache, split by side (a unified cache still attributes
+	// by requester side).
+	L2IAccesses, L2IMisses                 uint64
+	L2DAccesses, L2DMisses, L2DDirtyMisses uint64
+
+	// TLB.
+	ITLBMisses, DTLBMisses uint64
+}
+
+// CPI returns total cycles per instruction.
+func (s *Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// CPIOf returns the CPI contribution of one stall cause.
+func (s *Stats) CPIOf(c Cause) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Stalls[c]) / float64(s.Instructions)
+}
+
+// MemoryCPI returns the CPI contribution of the memory system: every
+// cause except the CPU's own stalls.
+func (s *Stats) MemoryCPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	var mem uint64
+	for c := Cause(0); c < numCauses; c++ {
+		if c != CauseCPU {
+			mem += s.Stalls[c]
+		}
+	}
+	return float64(mem) / float64(s.Instructions)
+}
+
+// BaseCPI returns 1 plus the CPU-stall contribution — the memory-free
+// floor the paper draws Fig. 4 above.
+func (s *Stats) BaseCPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1 + s.CPIOf(CauseCPU)
+}
+
+// L1IMissRatio returns instruction-cache misses per access.
+func (s *Stats) L1IMissRatio() float64 { return ratio(s.L1IMisses, s.L1IAccesses) }
+
+// L1DMissRatio returns data-cache misses (reads and writes) per access.
+func (s *Stats) L1DMissRatio() float64 {
+	return ratio(s.L1DReadMisses+s.L1DWriteMisses, s.L1DReads+s.L1DWrites)
+}
+
+// L1DReadMissRatio returns read misses per read.
+func (s *Stats) L1DReadMissRatio() float64 { return ratio(s.L1DReadMisses, s.L1DReads) }
+
+// L1DWriteMissRatio returns write misses per write.
+func (s *Stats) L1DWriteMissRatio() float64 { return ratio(s.L1DWriteMisses, s.L1DWrites) }
+
+// L2MissRatio returns combined secondary-cache misses per access.
+func (s *Stats) L2MissRatio() float64 {
+	return ratio(s.L2IMisses+s.L2DMisses, s.L2IAccesses+s.L2DAccesses)
+}
+
+// L2IMissRatio returns instruction-side misses per access.
+func (s *Stats) L2IMissRatio() float64 { return ratio(s.L2IMisses, s.L2IAccesses) }
+
+// L2DMissRatio returns data-side misses per access.
+func (s *Stats) L2DMissRatio() float64 { return ratio(s.L2DMisses, s.L2DAccesses) }
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Add accumulates other into s (for merging per-shard runs).
+func (s *Stats) Add(other *Stats) {
+	s.Instructions += other.Instructions
+	s.Cycles += other.Cycles
+	for i := range s.Stalls {
+		s.Stalls[i] += other.Stalls[i]
+	}
+	s.L1IAccesses += other.L1IAccesses
+	s.L1IMisses += other.L1IMisses
+	s.L1DReads += other.L1DReads
+	s.L1DReadMisses += other.L1DReadMisses
+	s.L1DWrites += other.L1DWrites
+	s.L1DWriteMisses += other.L1DWriteMisses
+	s.WriteOnlyReadMisses += other.WriteOnlyReadMisses
+	s.SubblockWordMisses += other.SubblockWordMisses
+	s.WBEnqueues += other.WBEnqueues
+	s.WBFullStalls += other.WBFullStalls
+	s.WBFlushes += other.WBFlushes
+	s.L2IAccesses += other.L2IAccesses
+	s.L2IMisses += other.L2IMisses
+	s.L2DAccesses += other.L2DAccesses
+	s.L2DMisses += other.L2DMisses
+	s.L2DDirtyMisses += other.L2DDirtyMisses
+	s.ITLBMisses += other.ITLBMisses
+	s.DTLBMisses += other.DTLBMisses
+}
+
+// Breakdown formats the CPI stack in the style of Fig. 4.
+func (s *Stats) Breakdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPI %.3f (base %.3f, memory %.3f)\n", s.CPI(), s.BaseCPI(), s.MemoryCPI())
+	for _, c := range Causes() {
+		if c == CauseCPU {
+			continue
+		}
+		if v := s.CPIOf(c); v > 0 {
+			fmt.Fprintf(&b, "  %-10s %.4f\n", c, v)
+		}
+	}
+	return b.String()
+}

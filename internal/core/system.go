@@ -1,0 +1,470 @@
+package core
+
+import (
+	"repro/internal/mmu"
+	"repro/internal/trace"
+)
+
+// l2bank couples a secondary-cache array with its timing.
+type l2bank struct {
+	c      *cache
+	timing BankTiming
+}
+
+// System is one simulated memory hierarchy: split L1, write buffer,
+// unified or split L2, main memory, and the MMU. Feed it scheduled trace
+// events with Step; read results from Stats.
+//
+// Timing is a single global cycle clock. Each instruction costs one
+// issue cycle plus attributed stall cycles; the write buffer drains
+// against the same clock in the background.
+type System struct {
+	cfg Config
+	mmu *mmu.MMU
+
+	l1i, l1d *cache
+	l2i, l2d *l2bank // aliases of the same bank when unified
+	wb       *writeBuffer
+
+	l1iFetchBytes uint64
+	l1dFetchBytes uint64
+
+	now          uint64
+	memBusyUntil uint64 // main-memory occupancy from dirty-buffer drains
+	flushBarrier uint64 // dirty-bit scheme: L2-D fetches wait past this
+	stats        Stats
+}
+
+// NewSystem validates cfg and builds a simulator.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:           cfg,
+		mmu:           mmu.New(cfg.MMU),
+		l1i:           newCache(cfg.L1I),
+		l1d:           newCache(cfg.L1D),
+		l1iFetchBytes: uint64(cfg.l1iFetch() * trace.WordBytes),
+		l1dFetchBytes: uint64(cfg.l1dFetch() * trace.WordBytes),
+	}
+	if cfg.L2Split {
+		s.l2i = &l2bank{c: newCache(cfg.L2I.Geom), timing: cfg.L2I.Timing}
+		s.l2d = &l2bank{c: newCache(cfg.L2D.Geom), timing: cfg.L2D.Timing}
+	} else {
+		u := &l2bank{c: newCache(cfg.L2U.Geom), timing: cfg.L2U.Timing}
+		s.l2i, s.l2d = u, u
+	}
+	overlap := uint64(2)
+	if lat := uint64(s.l2d.timing.Latency); lat < overlap {
+		overlap = lat
+	}
+	if cfg.WBNoOverlap {
+		overlap = 0
+	}
+	s.wb = newWriteBuffer(cfg.WBEntries, overlap, s.wbService)
+	return s, nil
+}
+
+// MustNewSystem is NewSystem that panics on configuration errors, for
+// experiment tables built from known-good configurations.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// Now returns the current cycle.
+func (s *System) Now() uint64 { return s.now }
+
+// MMU exposes the memory management unit (for TLB statistics).
+func (s *System) MMU() *mmu.MMU { return s.mmu }
+
+// Stats returns a snapshot of the accumulated statistics.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.Cycles = s.now
+	st.ITLBMisses = s.mmu.ITLB().Stats().Misses
+	st.DTLBMisses = s.mmu.DTLB().Stats().Misses
+	return st
+}
+
+// stallFor charges n stall cycles to cause and advances the clock.
+func (s *System) stallFor(cause Cause, n uint64) {
+	if n == 0 {
+		return
+	}
+	s.stats.Stalls[cause] += n
+	s.now += n
+}
+
+// stallUntil advances the clock to target, charging the wait to cause.
+func (s *System) stallUntil(cause Cause, target uint64) {
+	if target > s.now {
+		s.stallFor(cause, target-s.now)
+	}
+}
+
+// Step simulates one instruction of process pid.
+func (s *System) Step(pid mmu.PID, ev *trace.Event) {
+	s.stats.Instructions++
+	s.now++ // issue cycle
+	if ev.Stall > 0 {
+		s.stallFor(CauseCPU, uint64(ev.Stall))
+	}
+	s.fetchInstruction(pid, ev.PC)
+	switch ev.Kind {
+	case trace.Load:
+		s.load(pid, ev.Data)
+	case trace.Store:
+		s.store(pid, ev.Data, ev.Size)
+	}
+	s.wb.popCompleted(s.now)
+}
+
+// Run consumes an entire single-process stream (convenience for tests,
+// examples, and single-program simulations).
+func (s *System) Run(pid mmu.PID, src trace.Stream) Stats {
+	var ev trace.Event
+	for src.Next(&ev) {
+		s.Step(pid, &ev)
+	}
+	s.DrainWriteBuffer()
+	return s.Stats()
+}
+
+// DrainWriteBuffer retires all pending writes without charging CPU
+// stalls, so final L2 state and statistics are consistent at the end of
+// a simulation.
+func (s *System) DrainWriteBuffer() { s.wb.popAll() }
+
+// waitWBEmpty stalls until the write buffer has drained, charging the
+// wait to the WB cause, and retires the drained entries.
+func (s *System) waitWBEmpty() {
+	if s.wb.len() == 0 {
+		return
+	}
+	s.stallUntil(CauseWB, s.wb.emptyCompletion(s.now))
+	s.wb.popAll()
+}
+
+// fetchInstruction services the instruction fetch at vaddr.
+func (s *System) fetchInstruction(pid mmu.PID, vaddr uint32) {
+	paddr, tlbHit := s.mmu.TranslateI(pid, vaddr)
+	if !tlbHit && s.cfg.TLBMissPenalty > 0 {
+		s.stallFor(CauseTLB, uint64(s.cfg.TLBMissPenalty))
+	}
+	s.stats.L1IAccesses++
+	line := s.l1i.lineAddr(paddr)
+	if slot := s.l1i.find(line); slot >= 0 && s.l1i.flags[slot]&flagValid != 0 {
+		s.l1i.touch(slot)
+		return
+	}
+	s.stats.L1IMisses++
+	if s.cfg.IMissWaitsForWB {
+		s.waitWBEmpty()
+	}
+	s.refill(s.l1i, s.l2i, paddr, s.l1iFetchBytes, true)
+}
+
+// refill fetches the aligned fetch block containing paddr from the given
+// L2 bank into l1, charging refill cycles to the L1 miss cause and
+// memory penalties to the L2 miss cause for the side.
+func (s *System) refill(l1 *cache, bank *l2bank, paddr, fetchBytes uint64, instrSide bool) {
+	missCause, memCause := CauseL1DMiss, CauseL2DMiss
+	if instrSide {
+		missCause, memCause = CauseL1IMiss, CauseL2IMiss
+	}
+	block := paddr &^ (fetchBytes - 1)
+
+	// Evictions are handled before the L2 read so that any flush the
+	// replacement triggers lands its writes in L2 first.
+	lineBytes := uint64(l1.geom.LineWords * trace.WordBytes)
+	for off := uint64(0); off < fetchBytes; off += lineBytes {
+		s.evictFor(l1, l1.lineAddr(block+off), instrSide)
+	}
+
+	refillCycles, memCycles := s.l2Read(bank, block, int(fetchBytes)/trace.WordBytes, instrSide)
+	s.stallFor(missCause, refillCycles)
+	s.stallFor(memCause, memCycles)
+
+	for off := uint64(0); off < fetchBytes; off += lineBytes {
+		l1.insert(l1.lineAddr(block+off), flagValid, l1.fullMask)
+	}
+}
+
+// evictFor prepares to displace whatever occupies line's victim slot in
+// l1: write-back dirty victims enter the write buffer; under the
+// dirty-bit loads-pass-stores scheme, replacing a dirty line flushes the
+// write buffer to keep L2-D consistent without associative matching.
+func (s *System) evictFor(l1 *cache, line uint64, instrSide bool) {
+	if instrSide {
+		return // instruction lines are never dirty
+	}
+	slot := l1.find(line)
+	if slot < 0 {
+		slot = l1.victimSlot(line)
+	}
+	if l1.tags[slot] == tagInvalid || l1.flags[slot]&flagDirty == 0 {
+		return
+	}
+	victimLine := l1.tags[slot]
+	if s.cfg.WritePolicy == WriteBack {
+		lineBytes := uint64(l1.geom.LineWords * trace.WordBytes)
+		s.enqueueWrite(victimLine<<l1.offBits, lineBytes)
+		// The line has been handed to the buffer; clear dirtiness so a
+		// repeated eviction pass cannot double-write it.
+		l1.flags[slot] &^= flagDirty
+		return
+	}
+	if s.cfg.LoadsPassStores == LPSDirtyBit {
+		// The replaced dirty line may have writes still in the buffer.
+		// The buffer drains in the background; only fetches ordered
+		// after this point must wait for it (the flush barrier) — with
+		// one exception: a read that reallocates this very line (a
+		// write-only line being read) must see its writes in L2 first,
+		// so it waits for the whole drain now.
+		s.stats.WBFlushes++
+		if l1.tags[slot] == line {
+			s.waitWBEmpty()
+		} else {
+			s.flushBarrier = s.wb.emptyCompletion(s.now)
+		}
+		l1.flags[slot] &^= flagDirty
+	}
+}
+
+// enqueueWrite places bytes at addr into the write buffer as one or more
+// entries of the configured width, stalling for free slots as needed.
+func (s *System) enqueueWrite(addr, bytes uint64) {
+	entryBytes := uint64(s.cfg.WBEntryWords * trace.WordBytes)
+	for off := uint64(0); off < bytes; off += entryBytes {
+		if s.wb.full() {
+			s.stats.WBFullStalls++
+			s.stallUntil(CauseWB, s.wb.headComplete())
+			s.wb.popCompleted(s.now)
+		}
+		w := int(entryBytes) / trace.WordBytes
+		if rem := int(bytes-off) / trace.WordBytes; rem < w {
+			w = rem
+		}
+		if w < 1 {
+			w = 1 // partial-word store still occupies a one-word entry
+		}
+		s.wb.push(addr+off, w, s.now)
+		s.stats.WBEnqueues++
+	}
+}
+
+// load services a data read at vaddr.
+func (s *System) load(pid mmu.PID, vaddr uint32) {
+	paddr, tlbHit := s.mmu.TranslateD(pid, vaddr)
+	if !tlbHit && s.cfg.TLBMissPenalty > 0 {
+		s.stallFor(CauseTLB, uint64(s.cfg.TLBMissPenalty))
+	}
+	s.stats.L1DReads++
+	line := s.l1d.lineAddr(paddr)
+	if slot := s.l1d.find(line); slot >= 0 {
+		f := s.l1d.flags[slot]
+		switch {
+		case f&flagWriteOnly != 0:
+			// Write-only lines service writes, not reads: miss and
+			// reallocate (Section 6).
+			s.stats.WriteOnlyReadMisses++
+		case s.cfg.WritePolicy == Subblock && s.l1d.masks[slot]&(1<<s.l1d.wordOf(paddr)) == 0:
+			// Tag matches but this word was never validated.
+			s.stats.SubblockWordMisses++
+		case f&flagValid != 0:
+			s.l1d.touch(slot)
+			return
+		}
+	}
+	s.stats.L1DReadMisses++
+	s.beforeDataMissFetch(paddr)
+	s.refill(s.l1d, s.l2d, paddr, s.l1dFetchBytes, false)
+}
+
+// beforeDataMissFetch applies the configured loads-pass-stores scheme
+// before a data-side refill reads L2.
+func (s *System) beforeDataMissFetch(paddr uint64) {
+	switch s.cfg.LoadsPassStores {
+	case LPSNone:
+		s.waitWBEmpty()
+	case LPSAssociative:
+		if t, ok := s.wb.matchCompletion(paddr, s.l1d.offBits); ok {
+			s.stats.WBFlushes++
+			s.stallUntil(CauseWB, t)
+			s.wb.popCompleted(s.now)
+		}
+	case LPSDirtyBit:
+		// The read proceeds unless a recent dirty replacement left a
+		// flush in progress, in which case fetches wait it out.
+		if s.flushBarrier > s.now {
+			s.stallUntil(CauseWB, s.flushBarrier)
+			s.wb.popCompleted(s.now)
+		}
+	}
+}
+
+// store services a data write of size bytes at vaddr.
+func (s *System) store(pid mmu.PID, vaddr uint32, size uint8) {
+	paddr, tlbHit := s.mmu.TranslateD(pid, vaddr)
+	if !tlbHit && s.cfg.TLBMissPenalty > 0 {
+		s.stallFor(CauseTLB, uint64(s.cfg.TLBMissPenalty))
+	}
+	s.stats.L1DWrites++
+	if s.cfg.writeThrough() {
+		s.enqueueWrite(paddr&^3, uint64(trace.WordBytes)) // one word-wide entry
+	}
+	line := s.l1d.lineAddr(paddr)
+	slot := s.l1d.find(line)
+
+	switch s.cfg.WritePolicy {
+	case WriteBack:
+		if slot >= 0 && s.l1d.flags[slot]&flagValid != 0 {
+			// Two-cycle write hit: tag check before commit.
+			s.stallFor(CauseL1Write, 1)
+			s.l1d.flags[slot] |= flagDirty
+			s.l1d.touch(slot)
+			return
+		}
+		// One-cycle write miss, then write-allocate.
+		s.stats.L1DWriteMisses++
+		s.waitWBEmpty()
+		s.refill(s.l1d, s.l2d, paddr, s.l1dFetchBytes, false)
+		if slot = s.l1d.find(line); slot >= 0 {
+			s.l1d.flags[slot] |= flagDirty
+		}
+
+	case WriteMissInvalidate:
+		if slot >= 0 && s.l1d.flags[slot]&flagValid != 0 {
+			// One-cycle write hit: data written while the tag checks.
+			s.l1d.touch(slot)
+			return
+		}
+		// The write corrupted whatever the index selected; spend a
+		// second cycle invalidating it.
+		s.stats.L1DWriteMisses++
+		s.stallFor(CauseL1Write, 1)
+		victim := s.l1d.victimSlot(line)
+		if s.l1d.tags[victim] != tagInvalid {
+			s.l1d.tags[victim] = tagInvalid
+			s.l1d.flags[victim] = 0
+			s.l1d.masks[victim] = 0
+		}
+
+	case WriteOnly:
+		if slot >= 0 && s.l1d.flags[slot]&(flagValid|flagWriteOnly) != 0 {
+			// One cycle; the line accumulates the dirty bit used by the
+			// flush-on-replacement scheme.
+			s.l1d.flags[slot] |= flagDirty
+			s.l1d.touch(slot)
+			return
+		}
+		// Write miss: second cycle updates the tag and marks the line
+		// write-only so subsequent writes hit.
+		s.stats.L1DWriteMisses++
+		s.stallFor(CauseL1Write, 1)
+		s.evictFor(s.l1d, line, false)
+		s.l1d.insert(line, flagWriteOnly|flagDirty, 0)
+
+	case Subblock:
+		fullWord := size >= trace.WordBytes && paddr&3 == 0
+		if slot >= 0 && s.l1d.flags[slot]&flagValid != 0 {
+			// One-cycle write; full-word writes validate their word.
+			if fullWord {
+				s.l1d.masks[slot] |= 1 << s.l1d.wordOf(paddr)
+			}
+			s.l1d.flags[slot] |= flagDirty
+			s.l1d.touch(slot)
+			return
+		}
+		// Write miss: second cycle installs the tag; only a full-word
+		// write validates its word, partial writes validate nothing.
+		s.stats.L1DWriteMisses++
+		s.stallFor(CauseL1Write, 1)
+		s.evictFor(s.l1d, line, false)
+		var mask uint32
+		if fullWord {
+			mask = 1 << s.l1d.wordOf(paddr)
+		}
+		s.l1d.insert(line, flagValid|flagDirty, mask)
+	}
+}
+
+// l2Read performs an L1 refill read of `words` at block from bank,
+// returning the refill cycles and any main-memory penalty cycles.
+func (s *System) l2Read(bank *l2bank, block uint64, words int, instrSide bool) (refill, mem uint64) {
+	if instrSide {
+		s.stats.L2IAccesses++
+	} else {
+		s.stats.L2DAccesses++
+	}
+	refill = uint64(bank.timing.RefillCycles(words))
+	line := bank.c.lineAddr(block)
+	if slot := bank.c.find(line); slot >= 0 && bank.c.flags[slot]&flagValid != 0 {
+		bank.c.touch(slot)
+		return refill, 0
+	}
+	if instrSide {
+		s.stats.L2IMisses++
+	} else {
+		s.stats.L2DMisses++
+	}
+	mem = s.memoryFetch(bank, line, s.now+refill, false)
+	return refill, mem
+}
+
+// wbService drains one write-buffer entry into L2-D beginning at cycle
+// start and returns the cycles the drain occupies.
+func (s *System) wbService(addr uint64, words int, start uint64) uint64 {
+	bank := s.l2d
+	s.stats.L2DAccesses++
+	cycles := uint64(bank.timing.AccessTime())
+	line := bank.c.lineAddr(addr)
+	if slot := bank.c.find(line); slot >= 0 && bank.c.flags[slot]&flagValid != 0 {
+		bank.c.flags[slot] |= flagDirty
+		bank.c.touch(slot)
+		return cycles
+	}
+	// Write-allocate: the line must be fetched from memory before the
+	// (partial) write can be merged.
+	s.stats.L2DMisses++
+	cycles += s.memoryFetch(bank, line, start+cycles, true)
+	return cycles
+}
+
+// memoryFetch installs line into bank from main memory at cycle start
+// and returns the penalty cycles, accounting for a dirty victim (written
+// back inline, or via the dirty buffer when configured) and for the
+// memory bus still being busy with a previous dirty-buffer write-back.
+func (s *System) memoryFetch(bank *l2bank, line uint64, start uint64, markDirty bool) uint64 {
+	var wait uint64
+	if s.memBusyUntil > start {
+		wait = s.memBusyUntil - start
+	}
+	flags := flagValid
+	if markDirty {
+		flags |= flagDirty
+	}
+	ev := bank.c.insert(line, flags, bank.c.fullMask)
+	penalty := uint64(s.cfg.MemCleanPenalty)
+	if ev.valid && ev.dirty {
+		s.stats.L2DDirtyMisses++
+		if s.cfg.L2DirtyBuffer {
+			// Read the requested line first; the dirty line drains from
+			// the buffer afterwards, keeping the bus busy.
+			s.memBusyUntil = start + wait + penalty +
+				uint64(s.cfg.MemDirtyPenalty-s.cfg.MemCleanPenalty)
+			return wait + penalty
+		}
+		penalty = uint64(s.cfg.MemDirtyPenalty)
+	}
+	s.memBusyUntil = start + wait + penalty
+	return wait + penalty
+}

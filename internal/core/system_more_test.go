@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// dirtyBitConfig is the write-only policy with the flush-barrier scheme.
+func dirtyBitConfig() Config {
+	c := writeThroughConfig(WriteOnly, LPSDirtyBit)
+	return c
+}
+
+func TestFlushBarrierStoresDoNotStall(t *testing.T) {
+	s := newSys(t, dirtyBitConfig())
+	// Dirty two conflicting lines so a store miss replaces a dirty line.
+	s.store(pid, 0x1000, 4) // line A: write-only + dirty
+	before := s.stats.Stalls[CauseWB]
+	s.store(pid, 0x5000, 4) // same set: replaces dirty A, publishes a barrier
+	if got := s.stats.Stalls[CauseWB] - before; got != 0 {
+		t.Fatalf("store paid %d WB cycles; the flush barrier must not stall stores", got)
+	}
+	if s.stats.WBFlushes != 1 {
+		t.Fatalf("flushes = %d, want 1", s.stats.WBFlushes)
+	}
+	if s.flushBarrier == 0 {
+		t.Fatal("no barrier published")
+	}
+}
+
+func TestFlushBarrierDelaysNextFetch(t *testing.T) {
+	s := newSys(t, dirtyBitConfig())
+	s.store(pid, 0x1000, 4)
+	s.store(pid, 0x5000, 4) // publishes barrier
+	before := s.stats.Stalls[CauseWB]
+	s.load(pid, 0x9000) // unrelated read miss: must wait out the barrier
+	if got := s.stats.Stalls[CauseWB] - before; got == 0 {
+		t.Fatal("fetch after a dirty replacement ignored the flush barrier")
+	}
+}
+
+func TestWriteOnlyReallocationWaitsFullDrain(t *testing.T) {
+	s := newSys(t, dirtyBitConfig())
+	s.store(pid, 0x1000, 4) // write-only line with a pending write
+	before := s.stats.Stalls[CauseWB]
+	s.load(pid, 0x1000) // read of the written line itself: full drain
+	if got := s.stats.Stalls[CauseWB] - before; got == 0 {
+		t.Fatal("reallocating read did not wait for the line's pending writes")
+	}
+	if s.wb.len() != 0 {
+		t.Fatal("buffer not drained by the reallocation wait")
+	}
+}
+
+func TestOptimizedConfigEndToEnd(t *testing.T) {
+	s := newSys(t, Optimized())
+	// A mixed event stream exercising fetch, load, store on 8 W lines.
+	x := uint32(99)
+	var ev trace.Event
+	for i := 0; i < 50_000; i++ {
+		x = x*1664525 + 1013904223
+		ev = trace.Event{
+			PC:   (x % 0x10000) &^ 3,
+			Kind: trace.Kind(x % 3),
+			Data: ((x >> 5) % 0x80000) &^ 3,
+			Size: 4,
+		}
+		s.Step(pid, &ev)
+	}
+	st := s.Stats()
+	var total uint64
+	for _, c := range Causes() {
+		total += st.Stalls[c]
+	}
+	if st.Cycles != st.Instructions+total {
+		t.Fatalf("cycle conservation broken: %d != %d + %d", st.Cycles, st.Instructions, total)
+	}
+	if st.L2IAccesses == 0 || st.L2DAccesses == 0 {
+		t.Fatal("optimized config never reached L2")
+	}
+}
+
+func TestMultiLineFetchEvictsDirtyVictims(t *testing.T) {
+	cfg := Base() // write-back
+	cfg.L1DFetch = 8
+	s := newSys(t, cfg)
+	// Dirty two adjacent lines that an 8 W fetch will displace.
+	s.store(pid, 0x0000, 4)
+	s.store(pid, 0x0010, 4)
+	s.load(pid, 0x4000) // 8 W fetch covering both victim sets
+	if s.stats.WBEnqueues != 2 {
+		t.Fatalf("WB enqueues = %d, want 2 (both dirty victims)", s.stats.WBEnqueues)
+	}
+}
+
+func TestTwoWayL1DKeepsBothLines(t *testing.T) {
+	cfg := Base()
+	cfg.L1D.Ways = 2
+	s := newSys(t, cfg)
+	s.load(pid, 0x0000)
+	s.load(pid, 0x4000) // same set, second way
+	misses := s.stats.L1DReadMisses
+	s.load(pid, 0x0000)
+	s.load(pid, 0x4000)
+	if s.stats.L1DReadMisses != misses {
+		t.Fatalf("2-way L1-D evicted a resident line: %d misses", s.stats.L1DReadMisses)
+	}
+}
+
+func TestSubblockPartialThenFullWrite(t *testing.T) {
+	s := newSys(t, writeThroughConfig(Subblock, LPSNone))
+	s.store(pid, 0x2000, 1) // partial write miss: no valid bits
+	before := s.stats.Stalls[CauseL1Write]
+	s.store(pid, 0x2000, 4) // full-word write to the resident tag: 1 cycle, validates
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 0 {
+		t.Fatalf("tag-resident word write cost %d extra cycles", got)
+	}
+	s.load(pid, 0x2000)
+	if s.stats.L1DReadMisses != 0 {
+		t.Fatal("validated word missed on read")
+	}
+}
+
+func TestWriteBackVictimWritesReachL2(t *testing.T) {
+	s := newSys(t, Base())
+	s.store(pid, 0x0000, 4) // allocate + dirty (L2 line A resident)
+	s.load(pid, 0x4000)     // evict dirty A to the buffer
+	s.DrainWriteBuffer()
+	// A second system state probe: re-reading A must hit L2 and find the
+	// line still resident (the drain wrote, not invalidated).
+	mem := s.stats.Stalls[CauseL2DMiss]
+	s.load(pid, 0x0000)
+	if s.stats.Stalls[CauseL2DMiss] != mem {
+		t.Fatal("re-read of a drained line missed L2")
+	}
+}
+
+func TestSplitAsymmetricTimingsApplied(t *testing.T) {
+	s := newSys(t, Optimized())
+	// First instruction fetch: refill of 8 W from the fast L2-I =
+	// 2 + 2*1 = 4 cycles; L2-I cold miss adds 143.
+	s.fetchInstruction(pid, 0x40000)
+	if got := s.stats.Stalls[CauseL1IMiss]; got != 4 {
+		t.Fatalf("optimized L1-I refill cost %d, want 4", got)
+	}
+	// First load: 8 W from the off-MCM L2-D = 6 + 2*1 = 8 cycles.
+	s.load(pid, 0x1000)
+	if got := s.stats.Stalls[CauseL1DMiss]; got != 8 {
+		t.Fatalf("optimized L1-D refill cost %d, want 8", got)
+	}
+}
+
+func TestWMITwoWayInvalidatesVictimWay(t *testing.T) {
+	cfg := writeThroughConfig(WriteMissInvalidate, LPSNone)
+	cfg.L1D.Ways = 2
+	s := newSys(t, cfg)
+	s.load(pid, 0x0000)
+	s.load(pid, 0x4000) // both ways of set 0 occupied
+	s.store(pid, 0x8000, 4)
+	// The write miss corrupted (and invalidated) the LRU way — exactly
+	// one of the two resident lines must now miss.
+	misses := s.stats.L1DReadMisses
+	s.load(pid, 0x0000)
+	s.load(pid, 0x4000)
+	if got := s.stats.L1DReadMisses - misses; got != 1 {
+		t.Fatalf("WMI write miss invalidated %d lines, want exactly 1", got)
+	}
+}
+
+func TestMemBusyDelaysOnlyWithDirtyBuffer(t *testing.T) {
+	// Without the dirty buffer, back-to-back clean misses pay exactly
+	// the clean penalty each.
+	cfg := smallL2Config()
+	s := newSys(t, cfg)
+	s.load(pid, 0x00000)
+	before := s.stats.Stalls[CauseL2DMiss]
+	s.load(pid, 0x20000)
+	if got := s.stats.Stalls[CauseL2DMiss] - before; got != 143 {
+		t.Fatalf("second clean miss cost %d, want 143", got)
+	}
+}

@@ -1,0 +1,474 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mmu"
+	"repro/internal/trace"
+)
+
+// Addresses used below stay under 1 MB so, with 64 page colors and a
+// fresh MMU, physical addresses equal virtual addresses.
+
+func newSys(t *testing.T, cfg Config) *System {
+	t.Helper()
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func writeThroughConfig(p WritePolicy, lps LPSMode) Config {
+	c := Base()
+	c.WritePolicy = p
+	c.WBEntries = 8
+	c.WBEntryWords = 1
+	c.LoadsPassStores = lps
+	return c
+}
+
+const pid = mmu.PID(1)
+
+func TestWriteBackWriteHitCostsTwoCycles(t *testing.T) {
+	s := newSys(t, Base())
+	s.load(pid, 0x1000) // bring the line in
+	before := s.stats.Stalls[CauseL1Write]
+	s.store(pid, 0x1000, 4)
+	s.store(pid, 0x1000, 4)
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 2 {
+		t.Fatalf("two write hits cost %d extra cycles, want 2", got)
+	}
+	if s.stats.L1DWriteMisses != 0 {
+		t.Fatalf("write hits counted as misses: %d", s.stats.L1DWriteMisses)
+	}
+}
+
+func TestWriteBackWriteMissAllocates(t *testing.T) {
+	s := newSys(t, Base())
+	s.store(pid, 0x2000, 4)
+	if s.stats.L1DWriteMisses != 1 {
+		t.Fatalf("write misses = %d, want 1", s.stats.L1DWriteMisses)
+	}
+	if got := s.stats.Stalls[CauseL1Write]; got != 0 {
+		t.Fatalf("write miss charged %d L1-write cycles, want 0 (one-cycle miss)", got)
+	}
+	if got := s.stats.Stalls[CauseL1DMiss]; got != 6 {
+		t.Fatalf("allocate refill cost %d, want 6", got)
+	}
+	if got := s.stats.Stalls[CauseL2DMiss]; got != 143 {
+		t.Fatalf("allocate memory penalty %d, want 143", got)
+	}
+	// The allocated line now hits.
+	before := s.stats.Stalls[CauseL1Write]
+	s.store(pid, 0x2004, 4)
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 1 {
+		t.Fatalf("post-allocate write cost %d extra cycles, want 1 (hit)", got)
+	}
+}
+
+func TestWriteBackDirtyEvictionEntersWriteBuffer(t *testing.T) {
+	s := newSys(t, Base())
+	s.store(pid, 0x0000, 4) // allocate + dirty
+	s.load(pid, 0x4000)     // same L1 set, evicts the dirty line
+	if s.stats.WBEnqueues != 1 {
+		t.Fatalf("WB enqueues = %d, want 1", s.stats.WBEnqueues)
+	}
+	s.DrainWriteBuffer()
+	// The drained write hits the L2 line allocated by the store miss.
+	if s.stats.L2DAccesses < 3 { // allocate read, eviction read, drain write
+		t.Fatalf("L2-D accesses = %d, want >= 3", s.stats.L2DAccesses)
+	}
+}
+
+func TestWriteMissInvalidateSemantics(t *testing.T) {
+	s := newSys(t, writeThroughConfig(WriteMissInvalidate, LPSNone))
+	s.load(pid, 0x1000) // line A resident
+	before := s.stats.Stalls[CauseL1Write]
+	s.store(pid, 0x1000, 4) // hit: one cycle
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 0 {
+		t.Fatalf("WMI write hit cost %d extra cycles, want 0", got)
+	}
+	s.store(pid, 0x5000, 4) // same set, different tag: miss, invalidates A
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 1 {
+		t.Fatalf("WMI write miss cost %d extra cycles, want 1", got)
+	}
+	reads := s.stats.L1DReadMisses
+	s.load(pid, 0x1000)
+	if s.stats.L1DReadMisses != reads+1 {
+		t.Fatal("line A survived the invalidation")
+	}
+}
+
+func TestWriteOnlySemantics(t *testing.T) {
+	s := newSys(t, writeThroughConfig(WriteOnly, LPSNone))
+	s.store(pid, 0x3000, 4) // cold: write miss, line becomes write-only
+	if s.stats.L1DWriteMisses != 1 {
+		t.Fatalf("write misses = %d, want 1", s.stats.L1DWriteMisses)
+	}
+	before := s.stats.Stalls[CauseL1Write]
+	s.store(pid, 0x3004, 4) // subsequent write to the write-only line hits
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 0 {
+		t.Fatalf("write to write-only line cost %d extra cycles, want 0", got)
+	}
+	if s.stats.L1DWriteMisses != 1 {
+		t.Fatal("write to write-only line counted as a miss")
+	}
+	// A read to the write-only line misses and reallocates.
+	s.load(pid, 0x3000)
+	if s.stats.WriteOnlyReadMisses != 1 || s.stats.L1DReadMisses != 1 {
+		t.Fatalf("write-only read miss not recorded: %+v", s.stats)
+	}
+	if got := s.stats.Stalls[CauseWB]; got == 0 {
+		t.Fatal("read miss did not wait for pending writes to drain")
+	}
+	// After reallocation the line is a normal valid line.
+	s.load(pid, 0x3004)
+	if s.stats.L1DReadMisses != 1 {
+		t.Fatal("reallocated line did not service reads")
+	}
+}
+
+func TestSubblockSemantics(t *testing.T) {
+	s := newSys(t, writeThroughConfig(Subblock, LPSNone))
+	s.store(pid, 0x3000, 4) // full-word write miss validates word 0
+	if s.stats.L1DWriteMisses != 1 {
+		t.Fatalf("write misses = %d, want 1", s.stats.L1DWriteMisses)
+	}
+	s.load(pid, 0x3000) // word 0 is valid: hit
+	if s.stats.L1DReadMisses != 0 {
+		t.Fatal("read of validated word missed")
+	}
+	s.load(pid, 0x3008) // tag matches, word 2 invalid: miss and refill
+	if s.stats.SubblockWordMisses != 1 || s.stats.L1DReadMisses != 1 {
+		t.Fatalf("subblock word miss not recorded: %+v", s.stats)
+	}
+	s.load(pid, 0x3008) // refill validated the whole line
+	if s.stats.L1DReadMisses != 1 {
+		t.Fatal("line not fully validated after refill")
+	}
+	// A partial-word write miss validates nothing.
+	s.store(pid, 0x3100, 1)
+	s.load(pid, 0x3100)
+	if s.stats.SubblockWordMisses != 2 {
+		t.Fatalf("partial-word write validated its word: %+v", s.stats)
+	}
+	// Subsequent full-word writes to a resident tag validate in one cycle.
+	before := s.stats.Stalls[CauseL1Write]
+	s.store(pid, 0x3104, 4)
+	if got := s.stats.Stalls[CauseL1Write] - before; got != 0 {
+		t.Fatalf("word write to resident tag cost %d extra cycles, want 0", got)
+	}
+	s.load(pid, 0x3104)
+	if s.stats.SubblockWordMisses != 2 {
+		t.Fatal("validated word missed on read")
+	}
+}
+
+func TestReadMissWaitsForWriteBufferBase(t *testing.T) {
+	s := newSys(t, writeThroughConfig(WriteMissInvalidate, LPSNone))
+	for i := 0; i < 6; i++ {
+		s.store(pid, uint32(0x1000+i*0x10), 4)
+	}
+	if s.stats.Stalls[CauseWB] != 0 {
+		t.Fatal("stores stalled on a non-full buffer")
+	}
+	s.load(pid, 0x8000)
+	if s.stats.Stalls[CauseWB] == 0 {
+		t.Fatal("read miss did not wait for the write buffer to empty")
+	}
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	s := newSys(t, writeThroughConfig(WriteMissInvalidate, LPSNone))
+	// 9 stores into an 8-deep buffer faster than it can drain.
+	for i := 0; i < 9; i++ {
+		s.store(pid, uint32(0x1000+i*4), 4)
+	}
+	if s.stats.WBFullStalls == 0 || s.stats.Stalls[CauseWB] == 0 {
+		t.Fatalf("no full-buffer stall after 9 rapid stores: %+v", s.stats)
+	}
+}
+
+func TestAssociativeBypass(t *testing.T) {
+	s := newSys(t, writeThroughConfig(WriteOnly, LPSAssociative))
+	s.store(pid, 0x1000, 4) // pending write to line A
+	s.load(pid, 0x2000)     // unrelated miss: must not wait
+	if s.stats.Stalls[CauseWB] != 0 {
+		t.Fatalf("unrelated read miss waited %d cycles on the buffer", s.stats.Stalls[CauseWB])
+	}
+	s.store(pid, 0x6000, 4) // pending write to line C
+	s.load(pid, 0x6000)     // read of C: associative match, flush through it
+	if s.stats.Stalls[CauseWB] == 0 || s.stats.WBFlushes == 0 {
+		t.Fatalf("matching read miss did not flush: %+v", s.stats)
+	}
+}
+
+func TestDirtyBitScheme(t *testing.T) {
+	s := newSys(t, writeThroughConfig(WriteOnly, LPSDirtyBit))
+	s.store(pid, 0x1000, 4) // line A write-only + dirty; write pending
+	s.load(pid, 0x2000)     // different set: no flush, no wait
+	if s.stats.Stalls[CauseWB] != 0 || s.stats.WBFlushes != 0 {
+		t.Fatalf("unrelated miss triggered WB activity: %+v", s.stats)
+	}
+	s.load(pid, 0x5000) // same set as A: replacing the dirty line flushes
+	if s.stats.WBFlushes != 1 {
+		t.Fatalf("WB flushes = %d, want 1", s.stats.WBFlushes)
+	}
+}
+
+func smallL2Config() Config {
+	c := Base()
+	c.L2U.Geom.SizeWords = 16 * 1024 // 64 KB so conflicts are easy to build
+	return c
+}
+
+func TestL2DirtyMissPenalty(t *testing.T) {
+	s := newSys(t, smallL2Config())
+	s.load(pid, 0x00000) // L2 clean miss: 143
+	s.store(pid, 0x00000, 4)
+	s.load(pid, 0x04000) // evicts dirty L1 line into the WB; L2 clean miss: 143
+	s.load(pid, 0x10000) // drains WB (L2 line 0 becomes dirty), then evicts it: 237
+	if s.stats.L2DDirtyMisses != 1 {
+		t.Fatalf("L2 dirty misses = %d, want 1", s.stats.L2DDirtyMisses)
+	}
+	if got := s.stats.Stalls[CauseL2DMiss]; got != 143+143+237 {
+		t.Fatalf("L2-D memory penalty = %d, want %d", got, 143+143+237)
+	}
+}
+
+func TestL2DirtyBufferHidesWriteback(t *testing.T) {
+	cfg := smallL2Config()
+	cfg.L2DirtyBuffer = true
+	s := newSys(t, cfg)
+	s.load(pid, 0x00000)
+	s.store(pid, 0x00000, 4)
+	s.load(pid, 0x04000)
+	s.load(pid, 0x10000) // dirty miss, but the requested line is read first
+	if s.stats.L2DDirtyMisses != 1 {
+		t.Fatalf("L2 dirty misses = %d, want 1", s.stats.L2DDirtyMisses)
+	}
+	if got := s.stats.Stalls[CauseL2DMiss]; got != 143*3 {
+		t.Fatalf("L2-D memory penalty = %d, want %d (write-back hidden)", got, 143*3)
+	}
+	if s.memBusyUntil == 0 {
+		t.Fatal("dirty buffer did not occupy the memory bus")
+	}
+}
+
+func TestL2DirtyBufferBackToBackMissWaits(t *testing.T) {
+	cfg := smallL2Config()
+	cfg.L2DirtyBuffer = true
+	s := newSys(t, cfg)
+	s.load(pid, 0x00000)
+	s.store(pid, 0x00000, 4)
+	s.load(pid, 0x04000)
+	s.load(pid, 0x10000) // dirty miss: bus busy with the write-back after
+	penaltyBefore := s.stats.Stalls[CauseL2DMiss]
+	s.load(pid, 0x14000) // immediate clean miss must wait for the bus
+	extra := s.stats.Stalls[CauseL2DMiss] - penaltyBefore
+	if extra <= 143 {
+		t.Fatalf("back-to-back miss penalty = %d, want > 143 (bus wait)", extra)
+	}
+}
+
+func TestInstructionFetchPath(t *testing.T) {
+	s := newSys(t, Base())
+	ev := trace.Event{PC: 0x40000}
+	s.Step(pid, &ev)
+	if s.stats.L1IAccesses != 1 || s.stats.L1IMisses != 1 {
+		t.Fatalf("fetch counts: %+v", s.stats)
+	}
+	if got := s.stats.Stalls[CauseL1IMiss]; got != 6 {
+		t.Fatalf("I-refill cost %d, want 6", got)
+	}
+	if got := s.stats.Stalls[CauseL2IMiss]; got != 143 {
+		t.Fatalf("I-side memory penalty %d, want 143", got)
+	}
+	// Sequential fetches within the 4 W line hit.
+	for i := uint32(1); i < 4; i++ {
+		ev := trace.Event{PC: 0x40000 + 4*i}
+		s.Step(pid, &ev)
+	}
+	if s.stats.L1IMisses != 1 {
+		t.Fatalf("line-resident fetches missed: %d misses", s.stats.L1IMisses)
+	}
+}
+
+func TestConcurrentIRefillSkipsWBWait(t *testing.T) {
+	run := func(wait bool) uint64 {
+		cfg := writeThroughConfig(WriteOnly, LPSDirtyBit)
+		cfg.L2Split = true
+		cfg.L2I, cfg.L2D = SplitBank(cfg.L2U)
+		cfg.IMissWaitsForWB = wait
+		s := newSys(t, cfg)
+		for i := 0; i < 6; i++ {
+			s.store(pid, uint32(0x1000+i*0x10), 4)
+		}
+		s.fetchInstruction(pid, 0x40000)
+		return s.stats.Stalls[CauseWB]
+	}
+	if got := run(true); got == 0 {
+		t.Fatal("base I-miss did not wait for the write buffer")
+	}
+	if got := run(false); got != 0 {
+		t.Fatalf("concurrent I-refill waited %d cycles on the write buffer", got)
+	}
+}
+
+func TestSplitL2SeparatesSides(t *testing.T) {
+	cfg := Base()
+	cfg.L2Split = true
+	cfg.L2I, cfg.L2D = SplitBank(cfg.L2U)
+	s := newSys(t, cfg)
+	// The same physical line fetched as instruction and data occupies
+	// both banks independently.
+	s.fetchInstruction(pid, 0x40000)
+	s.load(pid, 0x40000)
+	if s.stats.L2IMisses != 1 || s.stats.L2DMisses != 1 {
+		t.Fatalf("split L2 shared a line across sides: %+v", s.stats)
+	}
+}
+
+func TestUnifiedL2SharesLines(t *testing.T) {
+	s := newSys(t, Base())
+	s.fetchInstruction(pid, 0x40000)
+	s.load(pid, 0x40000) // same L2 line: hit on the data side
+	if s.stats.L2DMisses != 0 {
+		t.Fatalf("unified L2 missed on a resident line: %+v", s.stats)
+	}
+}
+
+func TestFetchSizeMultipleLines(t *testing.T) {
+	cfg := Base()
+	cfg.L1DFetch = 8 // two 4 W lines per miss
+	s := newSys(t, cfg)
+	s.load(pid, 0x1000)
+	if got := s.stats.Stalls[CauseL1DMiss]; got != 10 { // 2 + 2*4
+		t.Fatalf("8 W refill cost %d, want 10", got)
+	}
+	s.load(pid, 0x1010) // the second fetched line
+	if s.stats.L1DReadMisses != 1 {
+		t.Fatal("prefetched line missed")
+	}
+}
+
+func TestTLBMissPenalty(t *testing.T) {
+	cfg := Base()
+	cfg.TLBMissPenalty = 20
+	s := newSys(t, cfg)
+	ev := trace.Event{PC: 0x40000, Kind: trace.Load, Data: 0x1000, Size: 4}
+	s.Step(pid, &ev)
+	if got := s.stats.Stalls[CauseTLB]; got != 40 { // one I-side, one D-side
+		t.Fatalf("TLB stalls = %d, want 40", got)
+	}
+	st := s.Stats()
+	if st.ITLBMisses != 1 || st.DTLBMisses != 1 {
+		t.Fatalf("TLB miss counts: %+v", st)
+	}
+}
+
+func TestCPUStallCharged(t *testing.T) {
+	s := newSys(t, Base())
+	ev := trace.Event{PC: 0x40000, Stall: 3}
+	s.Step(pid, &ev)
+	if got := s.stats.Stalls[CauseCPU]; got != 3 {
+		t.Fatalf("CPU stalls = %d, want 3", got)
+	}
+}
+
+func TestCycleConservation(t *testing.T) {
+	s := newSys(t, Base())
+	// A pseudo-random workload with fetches, loads, stores and stalls.
+	x := uint32(12345)
+	for i := 0; i < 20000; i++ {
+		x = x*1664525 + 1013904223
+		ev := trace.Event{
+			PC:    (x % 0x8000) &^ 3,
+			Kind:  trace.Kind(x % 3),
+			Data:  ((x >> 3) % 0x40000) &^ 3,
+			Size:  4,
+			Stall: uint8(x % 4),
+		}
+		s.Step(pid, &ev)
+	}
+	st := s.Stats()
+	var total uint64
+	for _, c := range Causes() {
+		total += st.Stalls[c]
+	}
+	if st.Cycles != st.Instructions+total {
+		t.Fatalf("cycles %d != instructions %d + stalls %d", st.Cycles, st.Instructions, total)
+	}
+	if st.CPI() <= 1 {
+		t.Fatalf("CPI = %g, want > 1", st.CPI())
+	}
+}
+
+func TestRunConsumesStream(t *testing.T) {
+	s := newSys(t, Base())
+	events := []trace.Event{
+		{PC: 0x1000},
+		{PC: 0x1004, Kind: trace.Store, Data: 0x8000, Size: 4},
+		{PC: 0x1008, Kind: trace.Load, Data: 0x8000, Size: 4},
+	}
+	st := s.Run(pid, trace.NewMemTrace(events))
+	if st.Instructions != 3 {
+		t.Fatalf("instructions = %d, want 3", st.Instructions)
+	}
+	if s.wb.len() != 0 {
+		t.Fatal("Run left write-buffer entries")
+	}
+}
+
+func TestMustNewSystemPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewSystem accepted a bad config")
+		}
+	}()
+	bad := Base()
+	bad.L1I.SizeWords = 0
+	MustNewSystem(bad)
+}
+
+func TestStatsAccessors(t *testing.T) {
+	s := newSys(t, Base())
+	var ev trace.Event
+	ev = trace.Event{PC: 0x1000, Kind: trace.Load, Data: 0x2000, Size: 4}
+	s.Step(pid, &ev)
+	st := s.Stats()
+	if st.L1IMissRatio() != 1 || st.L1DMissRatio() != 1 {
+		t.Fatalf("cold miss ratios not 1: %g %g", st.L1IMissRatio(), st.L1DMissRatio())
+	}
+	if st.L2MissRatio() != 1 {
+		t.Fatalf("L2 miss ratio = %g, want 1", st.L2MissRatio())
+	}
+	if st.MemoryCPI() <= 0 || st.BaseCPI() != 1 {
+		t.Fatalf("MemoryCPI %g BaseCPI %g", st.MemoryCPI(), st.BaseCPI())
+	}
+	if st.Breakdown() == "" {
+		t.Fatal("empty breakdown")
+	}
+	var sum Stats
+	sum.Add(&st)
+	sum.Add(&st)
+	if sum.Instructions != 2*st.Instructions || sum.Cycles != 2*st.Cycles {
+		t.Fatal("Stats.Add wrong")
+	}
+}
+
+func TestCausesAndStrings(t *testing.T) {
+	cs := Causes()
+	if len(cs) != int(numCauses) {
+		t.Fatalf("Causes() has %d entries, want %d", len(cs), numCauses)
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate cause name %q", name)
+		}
+		seen[name] = true
+	}
+}

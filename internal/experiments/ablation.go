@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mmu"
+)
+
+// AblationRow is one labeled configuration of an ablation study.
+type AblationRow struct {
+	Label  string
+	CPI    float64
+	MemCPI float64
+	L2Miss float64
+}
+
+// AblationWBDepth sweeps the write buffer depth on the write-only
+// design (the paper chose 8 deep x 1 word to fit inside the MMU chip;
+// this shows what the depth buys).
+func AblationWBDepth(o Options) []AblationRow {
+	o = o.normalized()
+	var rows []AblationRow
+	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+		cfg := writeOnlyBase()
+		cfg.WBEntries = depth
+		st := run(cfg, o).Stats
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("write buffer %2d x 1W", depth),
+			CPI:    st.CPI(),
+			MemCPI: st.MemoryCPI(),
+			L2Miss: st.L2MissRatio(),
+		})
+	}
+	return rows
+}
+
+// AblationWBOverlap toggles the drain-stream latency overlap, isolating
+// the value of the paper's "a stream of writes may overlap one or both
+// cycles of latency".
+func AblationWBOverlap(o Options) []AblationRow {
+	o = o.normalized()
+	var rows []AblationRow
+	for _, noOverlap := range []bool{false, true} {
+		cfg := writeOnlyBase()
+		cfg.WBNoOverlap = noOverlap
+		label := "drains overlap L2 latency (paper)"
+		if noOverlap {
+			label = "drains serialized (no overlap)"
+		}
+		st := run(cfg, o).Stats
+		rows = append(rows, AblationRow{
+			Label:  label,
+			CPI:    st.CPI(),
+			MemCPI: st.MemoryCPI(),
+			L2Miss: st.L2MissRatio(),
+		})
+	}
+	return rows
+}
+
+// AblationColoring compares frame-allocation policies. Strict
+// vpn-mod-colors coloring makes identically laid out processes collide
+// in the physically indexed L2; the staggered policy (our default)
+// keeps the intra-process invariant while spreading processes; random
+// allocation abandons index predictability entirely.
+func AblationColoring(o Options) []AblationRow {
+	o = o.normalized()
+	var rows []AblationRow
+	for _, c := range []mmu.Coloring{mmu.ColoringStaggered, mmu.ColoringStrict, mmu.ColoringRandom} {
+		cfg := writeOnlyBase()
+		cfg.MMU.Coloring = c
+		st := run(cfg, o).Stats
+		rows = append(rows, AblationRow{
+			Label:  "page coloring: " + c.String(),
+			CPI:    st.CPI(),
+			MemCPI: st.MemoryCPI(),
+			L2Miss: st.L2MissRatio(),
+		})
+	}
+	return rows
+}
+
+// AblationTLBPenalty charges a per-miss TLB penalty, quantifying the
+// effect the paper's CPI accounting leaves out.
+func AblationTLBPenalty(o Options) []AblationRow {
+	o = o.normalized()
+	var rows []AblationRow
+	for _, penalty := range []int{0, 10, 20, 40} {
+		cfg := writeOnlyBase()
+		cfg.TLBMissPenalty = penalty
+		st := run(cfg, o).Stats
+		rows = append(rows, AblationRow{
+			Label:  fmt.Sprintf("TLB miss penalty %2d cycles", penalty),
+			CPI:    st.CPI(),
+			MemCPI: st.MemoryCPI(),
+			L2Miss: st.L2MissRatio(),
+		})
+	}
+	return rows
+}
+
+// FormatAblation renders an ablation table.
+func FormatAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-38s %8s %8s %10s\n", "configuration", "CPI", "memory", "L2 miss")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-38s %8.3f %8.3f %10.4f\n", r.Label, r.CPI, r.MemCPI, r.L2Miss)
+	}
+	return b.String()
+}

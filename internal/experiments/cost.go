@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Cost reproduces the paper's implementation-cost arithmetic: the tag
+// memory on the MMU chip and the write-buffer datapath pin count. The
+// paper quotes 40 Kb of tags for the 8 KW primary cache pair with 4 W
+// lines (20 Kb after the move to 8 W lines), a 3 Kb saving for
+// write-only over subblock placement, and a factor-of-four I/O
+// reduction (256 → 64 pins) from narrowing the write buffer.
+type Cost struct {
+	// TagBits is the L1 tag storage on the MMU: physical tag bits per
+	// line times lines, for both caches.
+	TagBits int
+	// StateBits is the per-line policy state beyond the tag: valid
+	// (always), dirty (write-back or the dirty-bit scheme), write-only
+	// marker, or the four subblock valid bits.
+	StateBits int
+	// WBDataPins is the write-buffer datapath width in pins (data in +
+	// data out).
+	WBDataPins int
+}
+
+// physTagBits is the physical tag width the paper's arithmetic implies:
+// a 34-bit physical address minus the cache's index+offset bits
+// (14 bits for a 4 KW direct-mapped cache), i.e. 20 bits.
+const physAddrBits = 34
+
+// CostOf computes the model for a configuration.
+func CostOf(cfg core.Config) Cost {
+	var c Cost
+	c.TagBits = tagBits(cfg.L1I) + tagBits(cfg.L1D)
+
+	iLines := cfg.L1I.SizeWords / cfg.L1I.LineWords
+	dLines := cfg.L1D.SizeWords / cfg.L1D.LineWords
+	c.StateBits = iLines + dLines // valid bit per line
+	switch cfg.WritePolicy {
+	case core.WriteBack:
+		c.StateBits += dLines // dirty bit
+	case core.WriteOnly:
+		c.StateBits += dLines // write-only marker
+	case core.Subblock:
+		c.StateBits += 4 * dLines // four per-word valid bits
+	}
+	if cfg.LoadsPassStores == core.LPSDirtyBit {
+		c.StateBits += dLines // the scheme's extra dirty bit
+	}
+
+	c.WBDataPins = cfg.WBEntryWords * 32 * 2
+	return c
+}
+
+func tagBits(g core.CacheGeom) int {
+	lines := g.SizeWords / g.LineWords
+	sets := lines / g.Ways
+	indexOffsetBits := log2int(sets * g.LineWords * 4)
+	perLine := physAddrBits - indexOffsetBits
+	return lines * perLine
+}
+
+func log2int(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// CostRow labels one configuration's costs.
+type CostRow struct {
+	Label string
+	Cost  Cost
+}
+
+// CostTable evaluates the paper's candidate designs.
+func CostTable() []CostRow {
+	wmi := core.Base()
+	wmi.WritePolicy = core.WriteMissInvalidate
+	wmi.WBEntries, wmi.WBEntryWords = 8, 1
+
+	wo := writeOnlyBase()
+
+	sb := core.Base()
+	sb.WritePolicy = core.Subblock
+	sb.WBEntries, sb.WBEntryWords = 8, 1
+
+	return []CostRow{
+		{"base (write-back, 4W lines)", CostOf(core.Base())},
+		{"write-miss-invalidate", CostOf(wmi)},
+		{"write-only", CostOf(wo)},
+		{"subblock placement", CostOf(sb)},
+		{"optimized (write-only, 8W lines)", CostOf(core.Optimized())},
+	}
+}
+
+// FormatCost renders the table with the paper's reference points.
+func FormatCost(rows []CostRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %10s %11s %8s\n", "configuration", "tag Kb", "state bits", "WB pins")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-34s %10.1f %11d %8d\n",
+			r.Label, float64(r.Cost.TagBits)/1024, r.Cost.StateBits, r.Cost.WBDataPins)
+	}
+	b.WriteString("(paper: 40 Kb of L1 tags with 4W lines, 20 Kb with 8W lines;\n")
+	b.WriteString(" write-only saves 3 Kb of state over subblock placement;\n")
+	b.WriteString(" the 1W write buffer cuts the datapath from 256 to 64 pins)\n")
+	return b.String()
+}

@@ -1,0 +1,321 @@
+package mips
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Program memory layout, following the SPIM/MIPS convention.
+const (
+	TextBase uint32 = 0x0040_0000
+	DataBase uint32 = 0x1000_0000
+	StackTop uint32 = 0x7fff_f000
+)
+
+// Program is an assembled executable image.
+type Program struct {
+	Text    []uint32 // encoded instructions at TextBase
+	Data    []byte   // initialized data at DataBase
+	Entry   uint32   // start PC ("main" if defined, else TextBase)
+	Symbols map[string]uint32
+}
+
+// symKind says how a symbolic operand resolves during pass 2.
+type symKind uint8
+
+const (
+	symNone   symKind = iota
+	symBranch         // PC-relative word offset
+	symJump           // absolute jump target
+	symHi             // high 16 bits of the address
+	symLo             // low 16 bits of the address
+)
+
+// item is one concrete (post-pseudo-expansion) instruction awaiting
+// symbol resolution.
+type item struct {
+	instr Instr
+	sym   string
+	kind  symKind
+	add   int32 // addend for sym
+	addr  uint32
+	line  int
+}
+
+// assembler holds pass-1 state.
+type assembler struct {
+	items   []item
+	data    []byte
+	symbols map[string]uint32
+	inData  bool
+	reorder bool // auto-insert delay-slot nops
+	line    int
+}
+
+// Assemble translates MIPS assembly source into a Program. The
+// assembler runs in "reorder" mode by default, inserting a nop into
+// every branch and jump delay slot; `.set noreorder` hands the delay
+// slots to the programmer.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: make(map[string]uint32), reorder: true}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", a.line, err)
+		}
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble that panics on error, for the embedded
+// benchmark programs that are validated by tests.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) textAddr() uint32 { return TextBase + uint32(len(a.items))*4 }
+func (a *assembler) dataAddr() uint32 { return DataBase + uint32(len(a.data)) }
+
+func (a *assembler) doLine(raw string) error {
+	s := raw
+	if i := strings.IndexByte(s, '#'); i >= 0 {
+		// Keep # inside string literals.
+		if q := strings.IndexByte(s, '"'); q < 0 || i < q {
+			s = s[:i]
+		}
+	}
+	s = strings.TrimSpace(s)
+	for {
+		colon := strings.IndexByte(s, ':')
+		if colon < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:colon])
+		if !isIdent(label) {
+			break
+		}
+		if _, dup := a.symbols[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		if a.inData {
+			a.symbols[label] = a.dataAddr()
+		} else {
+			a.symbols[label] = a.textAddr()
+		}
+		s = strings.TrimSpace(s[colon+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.directive(s)
+	}
+	return a.instruction(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.', r == '$' && i == 0:
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(s string) error {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".globl", ".global", ".ent", ".end", ".frame", ".set":
+		if name == ".set" {
+			switch rest {
+			case "noreorder":
+				a.reorder = false
+			case "reorder":
+				a.reorder = true
+			}
+		}
+	case ".align":
+		n, err := parseInt(rest)
+		if err != nil {
+			return fmt.Errorf(".align: %w", err)
+		}
+		size := 1 << uint(n)
+		for len(a.data)%size != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".space":
+		n, err := parseInt(rest)
+		if err != nil {
+			return fmt.Errorf(".space: %w", err)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.dataValue(f)
+			if err != nil {
+				return fmt.Errorf(".word: %w", err)
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".half":
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return fmt.Errorf(".half: %w", err)
+			}
+			var b [2]byte
+			binary.LittleEndian.PutUint16(b[:], uint16(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := parseInt(f)
+			if err != nil {
+				return fmt.Errorf(".byte: %w", err)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".float":
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 32)
+			if err != nil {
+				return fmt.Errorf(".float: %w", err)
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v)))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".double":
+		for _, f := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf(".double: %w", err)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			a.data = append(a.data, b[:]...)
+		}
+	case ".asciiz", ".ascii":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		a.data = append(a.data, str...)
+		if name == ".asciiz" {
+			a.data = append(a.data, 0)
+		}
+	default:
+		return fmt.Errorf("unknown directive %s", name)
+	}
+	return nil
+}
+
+// dataValue parses a .word operand: an integer or a label.
+func (a *assembler) dataValue(f string) (int64, error) {
+	if v, err := parseInt(f); err == nil {
+		return v, nil
+	}
+	if v, ok := a.symbols[f]; ok {
+		return int64(v), nil
+	}
+	return 0, fmt.Errorf("bad value %q (forward label references in .word are not supported)", f)
+}
+
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// emit appends a concrete instruction.
+func (a *assembler) emit(it item) {
+	if a.inData {
+		return // caller validated; instructions in .data are rejected earlier
+	}
+	it.addr = a.textAddr()
+	it.line = a.line
+	a.items = append(a.items, it)
+}
+
+func (a *assembler) emitOp(i Instr) { a.emit(item{instr: i}) }
+
+// emitDelay inserts the delay-slot nop in reorder mode.
+func (a *assembler) emitDelay() {
+	if a.reorder {
+		a.emitOp(Instr{Op: OpSll}) // nop
+	}
+}
+
+func (a *assembler) finish() (*Program, error) {
+	p := &Program{Symbols: a.symbols, Data: a.data, Entry: TextBase}
+	if main, ok := a.symbols["main"]; ok {
+		p.Entry = main
+	}
+	p.Text = make([]uint32, len(a.items))
+	for idx, it := range a.items {
+		in := it.instr
+		if it.kind != symNone {
+			target, ok := a.symbols[it.sym]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined symbol %q", it.line, it.sym)
+			}
+			v := uint32(int64(target) + int64(it.add))
+			switch it.kind {
+			case symBranch:
+				off := (int64(v) - int64(it.addr) - 4) / 4
+				if off < math.MinInt16 || off > math.MaxInt16 {
+					return nil, fmt.Errorf("line %d: branch to %q out of range", it.line, it.sym)
+				}
+				in.Imm = int32(off)
+			case symJump:
+				in.Target = v
+			case symHi:
+				in.Imm = int32(v >> 16)
+			case symLo:
+				in.Imm = int32(v & 0xffff)
+			}
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", it.line, err)
+		}
+		p.Text[idx] = w
+	}
+	return p, nil
+}

@@ -1,0 +1,654 @@
+package mips
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Integer register names.
+var regNames = map[string]uint8{
+	"zero": 0, "at": 1, "v0": 2, "v1": 3,
+	"a0": 4, "a1": 5, "a2": 6, "a3": 7,
+	"t0": 8, "t1": 9, "t2": 10, "t3": 11, "t4": 12, "t5": 13, "t6": 14, "t7": 15,
+	"s0": 16, "s1": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"t8": 24, "t9": 25, "k0": 26, "k1": 27,
+	"gp": 28, "sp": 29, "fp": 30, "s8": 30, "ra": 31,
+}
+
+const regAT = 1 // the assembler temporary
+
+// parseReg parses an integer register ($name or $number).
+func parseReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	body := s[1:]
+	if r, ok := regNames[body]; ok {
+		return r, nil
+	}
+	n, err := parseInt(body)
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseFReg parses a floating-point register ($f0..$f31).
+func parseFReg(s string) (uint8, error) {
+	if !strings.HasPrefix(s, "$f") {
+		return 0, fmt.Errorf("expected FP register, got %q", s)
+	}
+	n, err := parseInt(s[2:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("bad FP register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// splitSym splits "label+4" / "label-4" into name and addend.
+func splitSym(s string) (string, int32) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			if off, err := parseInt(s[i:]); err == nil {
+				return s[:i], int32(off)
+			}
+		}
+	}
+	return s, 0
+}
+
+// memOperand is a parsed "imm(base)", "label", or "label+off" operand.
+type memOperand struct {
+	base   uint8
+	imm    int32
+	sym    string // when set, address = sym + imm and base is unused
+	direct bool   // true for the plain imm(base) form
+}
+
+func (a *assembler) parseMem(s string) (memOperand, error) {
+	if open := strings.IndexByte(s, '('); open >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return memOperand{}, fmt.Errorf("bad memory operand %q", s)
+		}
+		base, err := parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+		if err != nil {
+			return memOperand{}, err
+		}
+		offStr := strings.TrimSpace(s[:open])
+		var off int64
+		if offStr != "" {
+			off, err = parseInt(offStr)
+			if err != nil {
+				return memOperand{}, fmt.Errorf("bad offset %q", offStr)
+			}
+		}
+		return memOperand{base: base, imm: int32(off), direct: true}, nil
+	}
+	if v, err := parseInt(s); err == nil {
+		return memOperand{base: 0, imm: int32(v), direct: true}, nil
+	}
+	name, add := splitSym(s)
+	if !isIdent(name) {
+		return memOperand{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	return memOperand{sym: name, imm: add}, nil
+}
+
+// instruction parses and emits one statement, expanding pseudo-ops.
+func (a *assembler) instruction(s string) error {
+	if a.inData {
+		return fmt.Errorf("instruction %q in .data segment", s)
+	}
+	mnem, rest, _ := strings.Cut(s, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	ops := splitOperands(rest)
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+
+	switch mnem {
+	case "nop":
+		a.emitOp(Instr{Op: OpSll})
+		return nil
+	case "syscall":
+		a.emitOp(Instr{Op: OpSyscall})
+		return nil
+	case "break":
+		a.emitOp(Instr{Op: OpBreak})
+		return nil
+
+	// Three-register ALU forms.
+	case "add", "addu", "sub", "subu", "and", "or", "xor", "nor", "slt", "sltu", "sllv", "srlv", "srav":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		rt, e3 := parseReg(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		op := map[string]Op{"add": OpAdd, "addu": OpAddu, "sub": OpSub, "subu": OpSubu,
+			"and": OpAnd, "or": OpOr, "xor": OpXor, "nor": OpNor, "slt": OpSlt, "sltu": OpSltu,
+			"sllv": OpSllv, "srlv": OpSrlv, "srav": OpSrav}[mnem]
+		if op == OpSllv || op == OpSrlv || op == OpSrav {
+			// rd, rt, rs ordering: shift rt by rs.
+			a.emitOp(Instr{Op: op, Rd: rd, Rt: rs, Rs: rt})
+		} else {
+			a.emitOp(Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+		}
+		return nil
+
+	// Shift-immediate forms.
+	case "sll", "srl", "sra":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rt, e2 := parseReg(ops[1])
+		sa, e3 := parseInt(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		op := map[string]Op{"sll": OpSll, "srl": OpSrl, "sra": OpSra}[mnem]
+		a.emitOp(Instr{Op: op, Rd: rd, Rt: rt, Sa: uint8(sa)})
+		return nil
+
+	// Immediate ALU forms.
+	case "addi", "addiu", "slti", "sltiu", "andi", "ori", "xori":
+		if err := need(3); err != nil {
+			return err
+		}
+		rt, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		imm, e3 := parseInt(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		op := map[string]Op{"addi": OpAddi, "addiu": OpAddiu, "slti": OpSlti,
+			"sltiu": OpSltiu, "andi": OpAndi, "ori": OpOri, "xori": OpXori}[mnem]
+		a.emitOp(Instr{Op: op, Rt: rt, Rs: rs, Imm: int32(imm)})
+		return nil
+
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, e1 := parseReg(ops[0])
+		imm, e2 := parseInt(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		a.emitOp(Instr{Op: OpLui, Rt: rt, Imm: int32(imm)})
+		return nil
+
+	// HI/LO.
+	case "mult", "multu", "divu":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, e1 := parseReg(ops[0])
+		rt, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		op := map[string]Op{"mult": OpMult, "multu": OpMultu, "divu": OpDivu}[mnem]
+		a.emitOp(Instr{Op: op, Rs: rs, Rt: rt})
+		return nil
+	case "mfhi", "mflo":
+		if err := need(1); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := OpMfhi
+		if mnem == "mflo" {
+			op = OpMflo
+		}
+		a.emitOp(Instr{Op: op, Rd: rd})
+		return nil
+	case "mthi", "mtlo":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := OpMthi
+		if mnem == "mtlo" {
+			op = OpMtlo
+		}
+		a.emitOp(Instr{Op: op, Rs: rs})
+		return nil
+
+	// Multiply/divide pseudo-ops (3-operand) and the 2-operand real div.
+	case "mul", "rem":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		rt, e3 := parseReg(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		if mnem == "mul" {
+			a.emitOp(Instr{Op: OpMult, Rs: rs, Rt: rt})
+			a.emitOp(Instr{Op: OpMflo, Rd: rd})
+		} else {
+			a.emitOp(Instr{Op: OpDiv, Rs: rs, Rt: rt})
+			a.emitOp(Instr{Op: OpMfhi, Rd: rd})
+		}
+		return nil
+	case "div":
+		switch len(ops) {
+		case 2:
+			rs, e1 := parseReg(ops[0])
+			rt, e2 := parseReg(ops[1])
+			if err := firstErr(e1, e2); err != nil {
+				return err
+			}
+			a.emitOp(Instr{Op: OpDiv, Rs: rs, Rt: rt})
+			return nil
+		case 3:
+			rd, e1 := parseReg(ops[0])
+			rs, e2 := parseReg(ops[1])
+			rt, e3 := parseReg(ops[2])
+			if err := firstErr(e1, e2, e3); err != nil {
+				return err
+			}
+			a.emitOp(Instr{Op: OpDiv, Rs: rs, Rt: rt})
+			a.emitOp(Instr{Op: OpMflo, Rd: rd})
+			return nil
+		}
+		return fmt.Errorf("div: want 2 or 3 operands")
+
+	// Jumps.
+	case "j", "jal":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := OpJ
+		if mnem == "jal" {
+			op = OpJal
+		}
+		name, add := splitSym(ops[0])
+		a.emit(item{instr: Instr{Op: op}, sym: name, add: add, kind: symJump})
+		a.emitDelay()
+		return nil
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emitOp(Instr{Op: OpJr, Rs: rs})
+		a.emitDelay()
+		return nil
+	case "jalr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.emitOp(Instr{Op: OpJalr, Rs: rs, Rd: 31})
+		a.emitDelay()
+		return nil
+
+	// Branches.
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, e1 := parseReg(ops[0])
+		rt, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		op := OpBeq
+		if mnem == "bne" {
+			op = OpBne
+		}
+		a.branch(Instr{Op: op, Rs: rs, Rt: rt}, ops[2])
+		return nil
+	case "blez", "bgtz", "bltz", "bgez", "bltzal", "bgezal":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := map[string]Op{"blez": OpBlez, "bgtz": OpBgtz, "bltz": OpBltz, "bgez": OpBgez,
+			"bltzal": OpBltzal, "bgezal": OpBgezal}[mnem]
+		a.branch(Instr{Op: op, Rs: rs}, ops[1])
+		return nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := OpBeq
+		if mnem == "bnez" {
+			op = OpBne
+		}
+		a.branch(Instr{Op: op, Rs: rs, Rt: 0}, ops[1])
+		return nil
+	case "b":
+		if err := need(1); err != nil {
+			return err
+		}
+		a.branch(Instr{Op: OpBeq}, ops[0])
+		return nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, e1 := parseReg(ops[0])
+		rt, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		cmp := OpSlt
+		if strings.HasSuffix(mnem, "u") {
+			cmp = OpSltu
+		}
+		br := OpBne // taken when the comparison is true
+		switch strings.TrimSuffix(mnem, "u") {
+		case "blt": // rs < rt
+			a.emitOp(Instr{Op: cmp, Rd: regAT, Rs: rs, Rt: rt})
+		case "bgt": // rt < rs
+			a.emitOp(Instr{Op: cmp, Rd: regAT, Rs: rt, Rt: rs})
+		case "ble": // !(rt < rs)
+			a.emitOp(Instr{Op: cmp, Rd: regAT, Rs: rt, Rt: rs})
+			br = OpBeq
+		case "bge": // !(rs < rt)
+			a.emitOp(Instr{Op: cmp, Rd: regAT, Rs: rs, Rt: rt})
+			br = OpBeq
+		}
+		a.branch(Instr{Op: br, Rs: regAT, Rt: 0}, ops[2])
+		return nil
+
+	// Loads and stores.
+	case "lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw", "lwl", "lwr", "swl", "swr":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := map[string]Op{"lb": OpLb, "lh": OpLh, "lw": OpLw, "lbu": OpLbu,
+			"lhu": OpLhu, "sb": OpSb, "sh": OpSh, "sw": OpSw,
+			"lwl": OpLwl, "lwr": OpLwr, "swl": OpSwl, "swr": OpSwr}[mnem]
+		return a.memAccess(op, rt, ops[1])
+	case "ulw", "usw":
+		// Unaligned word access: the canonical little-endian lwr/lwl
+		// (or swr/swl) pair.
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		m, err := a.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		lo, hi := OpLwr, OpLwl
+		if mnem == "usw" {
+			lo, hi = OpSwr, OpSwl
+		}
+		if m.direct {
+			a.emitOp(Instr{Op: lo, Rt: rt, Rs: m.base, Imm: m.imm})
+			a.emitOp(Instr{Op: hi, Rt: rt, Rs: m.base, Imm: m.imm + 3})
+			return nil
+		}
+		a.loadAddress(regAT, m.sym, m.imm)
+		a.emitOp(Instr{Op: lo, Rt: rt, Rs: regAT})
+		a.emitOp(Instr{Op: hi, Rt: rt, Rs: regAT, Imm: 3})
+		return nil
+	case "lwc1", "swc1", "l.s", "s.s":
+		if err := need(2); err != nil {
+			return err
+		}
+		ft, err := parseFReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := OpLwc1
+		if mnem == "swc1" || mnem == "s.s" {
+			op = OpSwc1
+		}
+		return a.memAccess(op, ft, ops[1])
+	case "l.d", "s.d":
+		if err := need(2); err != nil {
+			return err
+		}
+		ft, err := parseFReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := OpLwc1
+		if mnem == "s.d" {
+			op = OpSwc1
+		}
+		m, err := a.parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		if m.direct {
+			a.emitOp(Instr{Op: op, Rt: ft, Rs: m.base, Imm: m.imm})
+			a.emitOp(Instr{Op: op, Rt: ft + 1, Rs: m.base, Imm: m.imm + 4})
+			return nil
+		}
+		a.loadAddress(regAT, m.sym, m.imm)
+		a.emitOp(Instr{Op: op, Rt: ft, Rs: regAT})
+		a.emitOp(Instr{Op: op, Rt: ft + 1, Rs: regAT, Imm: 4})
+		return nil
+
+	// Register moves and constants (pseudo-ops).
+	case "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		a.emitOp(Instr{Op: OpAddu, Rd: rd, Rs: rs})
+		return nil
+	case "neg":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		a.emitOp(Instr{Op: OpSubu, Rd: rd, Rt: rs})
+		return nil
+	case "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(ops[0])
+		rs, e2 := parseReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		a.emitOp(Instr{Op: OpNor, Rd: rd, Rs: rs})
+		return nil
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, e1 := parseReg(ops[0])
+		v64, e2 := parseInt(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		a.loadImmediate(rt, uint32(v64))
+		return nil
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		name, add := splitSym(ops[1])
+		if !isIdent(name) {
+			return fmt.Errorf("la: bad address %q", ops[1])
+		}
+		a.loadAddress(rt, name, add)
+		return nil
+
+	// Floating point moves and arithmetic.
+	case "mfc1", "mtc1":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, e1 := parseReg(ops[0])
+		fs, e2 := parseFReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		op := OpMfc1
+		if mnem == "mtc1" {
+			op = OpMtc1
+		}
+		a.emitOp(Instr{Op: op, Rt: rt, Rd: fs})
+		return nil
+	case "add.s", "add.d", "sub.s", "sub.d", "mul.s", "mul.d", "div.s", "div.d":
+		if err := need(3); err != nil {
+			return err
+		}
+		fd, e1 := parseFReg(ops[0])
+		fs, e2 := parseFReg(ops[1])
+		ft, e3 := parseFReg(ops[2])
+		if err := firstErr(e1, e2, e3); err != nil {
+			return err
+		}
+		op := map[string]Op{"add.s": OpAddS, "add.d": OpAddD, "sub.s": OpSubS, "sub.d": OpSubD,
+			"mul.s": OpMulS, "mul.d": OpMulD, "div.s": OpDivS, "div.d": OpDivD}[mnem]
+		a.emitOp(Instr{Op: op, Sa: fd, Rd: fs, Rt: ft})
+		return nil
+	case "abs.s", "abs.d", "mov.s", "mov.d", "neg.s", "neg.d",
+		"cvt.s.w", "cvt.d.w", "cvt.s.d", "cvt.d.s", "cvt.w.s", "cvt.w.d":
+		if err := need(2); err != nil {
+			return err
+		}
+		fd, e1 := parseFReg(ops[0])
+		fs, e2 := parseFReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		op := map[string]Op{"abs.s": OpAbsS, "abs.d": OpAbsD, "mov.s": OpMovS, "mov.d": OpMovD,
+			"neg.s": OpNegS, "neg.d": OpNegD, "cvt.s.w": OpCvtSW, "cvt.d.w": OpCvtDW,
+			"cvt.s.d": OpCvtSD, "cvt.d.s": OpCvtDS, "cvt.w.s": OpCvtWS, "cvt.w.d": OpCvtWD}[mnem]
+		a.emitOp(Instr{Op: op, Sa: fd, Rd: fs})
+		return nil
+	case "c.eq.s", "c.eq.d", "c.lt.s", "c.lt.d", "c.le.s", "c.le.d":
+		if err := need(2); err != nil {
+			return err
+		}
+		fs, e1 := parseFReg(ops[0])
+		ft, e2 := parseFReg(ops[1])
+		if err := firstErr(e1, e2); err != nil {
+			return err
+		}
+		op := map[string]Op{"c.eq.s": OpCEqS, "c.eq.d": OpCEqD, "c.lt.s": OpCLtS,
+			"c.lt.d": OpCLtD, "c.le.s": OpCLeS, "c.le.d": OpCLeD}[mnem]
+		a.emitOp(Instr{Op: op, Rd: fs, Rt: ft})
+		return nil
+	case "bc1t", "bc1f":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := OpBc1t
+		if mnem == "bc1f" {
+			op = OpBc1f
+		}
+		a.branch(Instr{Op: op}, ops[0])
+		return nil
+	}
+	return fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+// branch emits a PC-relative branch to a label (or numeric offset) plus
+// its delay slot.
+func (a *assembler) branch(in Instr, target string) {
+	if v, err := parseInt(target); err == nil {
+		in.Imm = int32(v)
+		a.emitOp(in)
+	} else {
+		name, add := splitSym(target)
+		a.emit(item{instr: in, sym: name, add: add, kind: symBranch})
+	}
+	a.emitDelay()
+}
+
+// memAccess emits a load/store with either a direct imm(base) operand or
+// a label operand via the assembler temporary.
+func (a *assembler) memAccess(op Op, rt uint8, operand string) error {
+	m, err := a.parseMem(operand)
+	if err != nil {
+		return err
+	}
+	if m.direct {
+		a.emitOp(Instr{Op: op, Rt: rt, Rs: m.base, Imm: m.imm})
+		return nil
+	}
+	a.loadAddress(regAT, m.sym, m.imm)
+	a.emitOp(Instr{Op: op, Rt: rt, Rs: regAT})
+	return nil
+}
+
+// loadImmediate materializes a 32-bit constant in rt.
+func (a *assembler) loadImmediate(rt uint8, v uint32) {
+	switch {
+	case int32(v) >= -32768 && int32(v) <= 32767:
+		a.emitOp(Instr{Op: OpAddiu, Rt: rt, Imm: int32(v)})
+	case v <= 0xffff:
+		a.emitOp(Instr{Op: OpOri, Rt: rt, Imm: int32(v)})
+	default:
+		a.emitOp(Instr{Op: OpLui, Rt: rt, Imm: int32(v >> 16)})
+		if lo := v & 0xffff; lo != 0 {
+			a.emitOp(Instr{Op: OpOri, Rt: rt, Rs: rt, Imm: int32(lo)})
+		}
+	}
+}
+
+// loadAddress materializes sym+add in rt (lui+ori).
+func (a *assembler) loadAddress(rt uint8, sym string, add int32) {
+	a.emit(item{instr: Instr{Op: OpLui, Rt: rt}, sym: sym, add: add, kind: symHi})
+	a.emit(item{instr: Instr{Op: OpOri, Rt: rt, Rs: rt}, sym: sym, add: add, kind: symLo})
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustAsm(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	p := mustAsm(t, `
+	.text
+main:	li $v0, 10
+	syscall
+`)
+	if p.Entry != TextBase {
+		t.Fatalf("entry = %#x, want %#x", p.Entry, TextBase)
+	}
+	if len(p.Text) != 2 {
+		t.Fatalf("text length = %d, want 2", len(p.Text))
+	}
+	in, err := Decode(p.Text[0])
+	if err != nil || in.Op != OpAddiu || in.Rt != 2 || in.Imm != 10 {
+		t.Fatalf("li expanded to %+v (%v)", in, err)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	p := mustAsm(t, `
+main:	li $t0, 3
+loop:	addi $t0, $t0, -1
+	bnez $t0, loop
+	li $v0, 10
+	syscall
+`)
+	// Layout: addiu, addi, bne, nop, addiu, syscall.
+	in, _ := Decode(p.Text[2])
+	if in.Op != OpBne {
+		t.Fatalf("expected bne at slot 2, got %s", in.Op.Name())
+	}
+	// Branch from TextBase+8 back to TextBase+4: offset -2.
+	if in.Imm != -2 {
+		t.Fatalf("branch offset = %d, want -2", in.Imm)
+	}
+	// Delay slot nop inserted.
+	if p.Text[3] != Nop {
+		t.Fatalf("delay slot = %#08x, want nop", p.Text[3])
+	}
+}
+
+func TestNoReorderSuppressesDelayNop(t *testing.T) {
+	p := mustAsm(t, `
+	.set noreorder
+main:	b out
+	addi $t0, $t0, 1
+out:	li $v0, 10
+	syscall
+	nop
+`)
+	in, _ := Decode(p.Text[1])
+	if in.Op != OpAddi {
+		t.Fatalf("delay slot holds %s, want the addi", in.Op.Name())
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+w:	.word 1, 2, -3
+h:	.half 7
+b:	.byte 255
+	.align 2
+f:	.float 1.5
+d:	.double 2.5
+s:	.asciiz "hi"
+arr:	.space 16
+	.text
+main:	li $v0, 10
+	syscall
+`)
+	if p.Symbols["w"] != DataBase {
+		t.Fatalf("w at %#x", p.Symbols["w"])
+	}
+	if got := p.Symbols["h"]; got != DataBase+12 {
+		t.Fatalf("h at %#x, want %#x", got, DataBase+12)
+	}
+	if got := p.Symbols["f"]; got%4 != 0 {
+		t.Fatalf("f misaligned at %#x", got)
+	}
+	if got := p.Symbols["arr"] + 16; uint32(len(p.Data)) != got-DataBase {
+		t.Fatalf("data length %d, want %d", len(p.Data), got-DataBase)
+	}
+	if p.Data[0] != 1 || p.Data[8] != 0xfd {
+		t.Fatalf("word data wrong: % x", p.Data[:12])
+	}
+	// "hi\0" at s.
+	off := p.Symbols["s"] - DataBase
+	if string(p.Data[off:off+3]) != "hi\x00" {
+		t.Fatalf("asciiz wrong: %q", p.Data[off:off+3])
+	}
+}
+
+func TestLaAndMemoryLabelOperands(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+v:	.word 42
+	.text
+main:	la $t0, v
+	lw $t1, v
+	lw $t2, 0($t0)
+	sw $t1, v+4
+	li $v0, 10
+	syscall
+`)
+	// la = lui+ori resolving to DataBase.
+	in0, _ := Decode(p.Text[0])
+	in1, _ := Decode(p.Text[1])
+	if in0.Op != OpLui || uint32(in0.Imm) != DataBase>>16 {
+		t.Fatalf("la hi = %+v", in0)
+	}
+	if in1.Op != OpOri || uint32(in1.Imm) != DataBase&0xffff {
+		t.Fatalf("la lo = %+v", in1)
+	}
+	if _, ok := p.Symbols["v"]; !ok {
+		t.Fatal("symbol v missing")
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	p := mustAsm(t, `
+main:	move $t0, $t1
+	neg $t2, $t3
+	not $t4, $t5
+	mul $t6, $t0, $t2
+	rem $t7, $t0, $t2
+	div $s0, $t0, $t2
+	li $s1, 0x12345678
+	li $s2, 70000
+	blt $t0, $t1, main
+	bge $t0, $t1, main
+	li $v0, 10
+	syscall
+`)
+	ops := make([]Op, len(p.Text))
+	for i, w := range p.Text {
+		in, err := Decode(w)
+		if err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+		ops[i] = in.Op
+	}
+	want := []Op{
+		OpAddu,         // move
+		OpSubu,         // neg
+		OpNor,          // not
+		OpMult, OpMflo, // mul
+		OpDiv, OpMfhi, // rem
+		OpDiv, OpMflo, // div 3-op
+		OpLui, OpOri, // li 32-bit
+		OpLui, OpOri, // li 70000 (needs lui+ori)
+		OpSlt, OpBne, OpSll, // blt + delay
+		OpSlt, OpBeq, OpSll, // bge + delay
+		OpAddiu, // li 10
+		OpSyscall,
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("expanded to %d instrs, want %d: %v", len(ops), len(want), ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("slot %d = %s, want %s", i, ops[i].Name(), want[i].Name())
+		}
+	}
+}
+
+func TestDoubleLoadStoreExpansion(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+x:	.double 1.0
+	.text
+main:	l.d $f0, x
+	s.d $f0, 8($sp)
+	li $v0, 10
+	syscall
+`)
+	// l.d via label: lui, ori, lwc1, lwc1.
+	in2, _ := Decode(p.Text[2])
+	in3, _ := Decode(p.Text[3])
+	if in2.Op != OpLwc1 || in3.Op != OpLwc1 || in3.Rt != in2.Rt+1 || in3.Imm != in2.Imm+4 {
+		t.Fatalf("l.d expansion wrong: %+v %+v", in2, in3)
+	}
+	in4, _ := Decode(p.Text[4])
+	in5, _ := Decode(p.Text[5])
+	if in4.Op != OpSwc1 || in5.Op != OpSwc1 || in5.Imm != 12 {
+		t.Fatalf("s.d expansion wrong: %+v %+v", in4, in5)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", "main:\tfoo $t0, $t1"},
+		{"bad register", "main:\tadd $t0, $zz, $t1"},
+		{"undefined label", "main:\tj nowhere"},
+		{"duplicate label", "a:\tnop\na:\tnop"},
+		{"wrong operand count", "main:\tadd $t0, $t1"},
+		{"instruction in data", ".data\nmain:\tadd $t0, $t1, $t2"},
+		{"unknown directive", ".bogus 3"},
+		{"bad immediate", "main:\tli $t0, xyz"},
+		{"branch out of range", "main:\tbeq $0, $0, far\n.space"}, // .space in text is fine to fail too
+
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		}
+	}
+}
+
+func TestBranchRangeCheck(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("main:\tb far\n")
+	for i := 0; i < 40000; i++ {
+		b.WriteString("\tnop\n")
+	}
+	b.WriteString("far:\tnop\n")
+	if _, err := Assemble(b.String()); err == nil || !strings.Contains(err.Error(), "range") {
+		t.Fatalf("out-of-range branch not rejected: %v", err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	p := mustAsm(t, `
+# full-line comment
+main:	li $v0, 10   # trailing comment
+	syscall
+	.data
+msg:	.asciiz "has # hash"
+`)
+	off := p.Symbols["msg"] - DataBase
+	if !strings.HasPrefix(string(p.Data[off:]), "has # hash") {
+		t.Fatalf("hash in string mangled: %q", p.Data[off:])
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble accepted bad source")
+		}
+	}()
+	MustAssemble("main:\tbogus")
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p := mustAsm(t, "main:\tadd $8, $9, $10\n\tadd $t0, $t1, $t2")
+	if p.Text[0] != p.Text[1] {
+		t.Fatalf("numeric and named registers differ: %#x vs %#x", p.Text[0], p.Text[1])
+	}
+}

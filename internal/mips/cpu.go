@@ -1,0 +1,618 @@
+package mips
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Syscall codes (SPIM conventions), invoked with the code in $v0.
+const (
+	SysPrintInt    = 1
+	SysPrintString = 4
+	SysReadInt     = 5
+	SysSbrk        = 9
+	SysExit        = 10
+	SysPrintChar   = 11
+)
+
+// CPU emulates the MIPS-I subset and, as it executes, produces one
+// trace.Event per instruction — the pixie-equivalent instrumentation.
+// It implements trace.Stream: Next runs one instruction.
+type CPU struct {
+	prog    *Program
+	decoded []Instr
+	decErr  []error
+	mem     Memory
+
+	regs  [32]uint32
+	fregs [32]uint32
+	hi    uint32
+	lo    uint32
+	fcc   bool
+
+	pc, npc uint32
+	heapEnd uint32
+	halted  bool
+	exit    uint32
+	err     error
+
+	steps    uint64
+	MaxSteps uint64 // 0 = unlimited; exceeding it is an error
+
+	output strings.Builder
+	input  []int32
+
+	// Load-delay interlock tracking.
+	lastLoadReg  uint8 // integer register loaded by the previous instruction (0 = none)
+	lastLoadFReg int16 // FP register loaded by the previous instruction (-1 = none)
+}
+
+const outputCap = 1 << 20
+
+// NewCPU loads prog into a fresh machine. The stack pointer starts at
+// StackTop, $ra at 0 so a return from the entry function halts cleanly.
+func NewCPU(prog *Program) *CPU {
+	c := &CPU{prog: prog, lastLoadFReg: -1}
+	c.decoded = make([]Instr, len(prog.Text))
+	c.decErr = make([]error, len(prog.Text))
+	for i, w := range prog.Text {
+		c.decoded[i], c.decErr[i] = Decode(w)
+		c.mem.SetWord(TextBase+uint32(i)*4, w)
+	}
+	c.mem.WriteBytes(DataBase, prog.Data)
+	c.heapEnd = DataBase + uint32(len(prog.Data)+7)&^7
+	c.regs[29] = StackTop
+	c.pc = prog.Entry
+	c.npc = prog.Entry + 4
+	return c
+}
+
+// SetInput queues values for the read_int syscall.
+func (c *CPU) SetInput(vals []int32) { c.input = append(c.input, vals...) }
+
+// Output returns everything the program printed (capped at 1 MB).
+func (c *CPU) Output() string { return c.output.String() }
+
+// Err returns the first execution error, if any. A clean exit leaves it
+// nil.
+func (c *CPU) Err() error { return c.err }
+
+// Halted reports whether the program has exited.
+func (c *CPU) Halted() bool { return c.halted }
+
+// ExitCode returns the code passed to the exit syscall.
+func (c *CPU) ExitCode() uint32 { return c.exit }
+
+// Steps returns the number of instructions executed.
+func (c *CPU) Steps() uint64 { return c.steps }
+
+// Reg returns integer register r.
+func (c *CPU) Reg(r int) uint32 { return c.regs[r] }
+
+// Mem exposes the machine memory (for test setup and inspection).
+func (c *CPU) Mem() *Memory { return &c.mem }
+
+func (c *CPU) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("mips: pc %#08x: %s", c.pc, fmt.Sprintf(format, args...))
+	}
+	c.halted = true
+}
+
+// Next executes one instruction and fills ev, implementing trace.Stream.
+func (c *CPU) Next(ev *trace.Event) bool {
+	if c.halted {
+		return false
+	}
+	if c.MaxSteps > 0 && c.steps >= c.MaxSteps {
+		c.fail("step limit %d exceeded", c.MaxSteps)
+		return false
+	}
+	if c.pc == 0 {
+		// Return from the entry function: a clean halt.
+		c.halted = true
+		return false
+	}
+	idx := (c.pc - TextBase) / 4
+	if c.pc < TextBase || c.pc&3 != 0 || int(idx) >= len(c.decoded) {
+		c.fail("instruction fetch outside text segment")
+		return false
+	}
+	if c.decErr[idx] != nil {
+		c.fail("%v", c.decErr[idx])
+		return false
+	}
+	in := c.decoded[idx]
+
+	*ev = trace.Event{PC: c.pc}
+	ev.Stall = c.interlockStall(in) + opStall(in.Op)
+
+	curPC := c.pc
+	c.pc = c.npc
+	c.npc += 4
+	c.lastLoadReg = 0
+	c.lastLoadFReg = -1
+
+	c.execute(in, curPC, ev)
+	c.steps++
+	c.regs[0] = 0
+	return !c.halted || ev.Syscall // the exit syscall itself is still traced
+}
+
+// branchTo redirects control after the delay slot and charges the
+// taken-branch bubble.
+func (c *CPU) branchTo(target uint32, ev *trace.Event) {
+	c.npc = target
+	ev.Stall++
+}
+
+func (c *CPU) execute(in Instr, curPC uint32, ev *trace.Event) {
+	rs, rt := c.regs[in.Rs], c.regs[in.Rt]
+	switch in.Op {
+	case OpSll:
+		c.regs[in.Rd] = rt << in.Sa
+	case OpSrl:
+		c.regs[in.Rd] = rt >> in.Sa
+	case OpSra:
+		c.regs[in.Rd] = uint32(int32(rt) >> in.Sa)
+	case OpSllv:
+		c.regs[in.Rd] = rt << (rs & 31)
+	case OpSrlv:
+		c.regs[in.Rd] = rt >> (rs & 31)
+	case OpSrav:
+		c.regs[in.Rd] = uint32(int32(rt) >> (rs & 31))
+	case OpAdd, OpAddu:
+		c.regs[in.Rd] = rs + rt
+	case OpSub, OpSubu:
+		c.regs[in.Rd] = rs - rt
+	case OpAnd:
+		c.regs[in.Rd] = rs & rt
+	case OpOr:
+		c.regs[in.Rd] = rs | rt
+	case OpXor:
+		c.regs[in.Rd] = rs ^ rt
+	case OpNor:
+		c.regs[in.Rd] = ^(rs | rt)
+	case OpSlt:
+		c.regs[in.Rd] = b2u(int32(rs) < int32(rt))
+	case OpSltu:
+		c.regs[in.Rd] = b2u(rs < rt)
+
+	case OpMfhi:
+		c.regs[in.Rd] = c.hi
+	case OpMflo:
+		c.regs[in.Rd] = c.lo
+	case OpMthi:
+		c.hi = rs
+	case OpMtlo:
+		c.lo = rs
+	case OpMult:
+		p := int64(int32(rs)) * int64(int32(rt))
+		c.lo, c.hi = uint32(p), uint32(p>>32)
+	case OpMultu:
+		p := uint64(rs) * uint64(rt)
+		c.lo, c.hi = uint32(p), uint32(p>>32)
+	case OpDiv:
+		if rt == 0 {
+			c.lo, c.hi = 0, 0
+		} else {
+			c.lo = uint32(int32(rs) / int32(rt))
+			c.hi = uint32(int32(rs) % int32(rt))
+		}
+	case OpDivu:
+		if rt == 0 {
+			c.lo, c.hi = 0, 0
+		} else {
+			c.lo = rs / rt
+			c.hi = rs % rt
+		}
+
+	case OpJr:
+		c.branchTo(rs, ev)
+	case OpJalr:
+		c.regs[in.Rd] = curPC + 8
+		c.branchTo(rs, ev)
+	case OpJ:
+		c.branchTo((curPC+4)&0xf000_0000|in.Target, ev)
+	case OpJal:
+		c.regs[31] = curPC + 8
+		c.branchTo((curPC+4)&0xf000_0000|in.Target, ev)
+	case OpBeq:
+		if rs == rt {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBne:
+		if rs != rt {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBlez:
+		if int32(rs) <= 0 {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBgtz:
+		if int32(rs) > 0 {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBltz:
+		if int32(rs) < 0 {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBgez:
+		if int32(rs) >= 0 {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBltzal:
+		c.regs[31] = curPC + 8 // links unconditionally
+		if int32(rs) < 0 {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBgezal:
+		c.regs[31] = curPC + 8
+		if int32(rs) >= 0 {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+
+	case OpAddi, OpAddiu:
+		c.regs[in.Rt] = rs + uint32(in.Imm)
+	case OpSlti:
+		c.regs[in.Rt] = b2u(int32(rs) < in.Imm)
+	case OpSltiu:
+		c.regs[in.Rt] = b2u(rs < uint32(in.Imm))
+	case OpAndi:
+		c.regs[in.Rt] = rs & uint32(in.Imm)
+	case OpOri:
+		c.regs[in.Rt] = rs | uint32(in.Imm)
+	case OpXori:
+		c.regs[in.Rt] = rs ^ uint32(in.Imm)
+	case OpLui:
+		c.regs[in.Rt] = uint32(in.Imm) << 16
+
+	case OpLb, OpLbu, OpLh, OpLhu, OpLw, OpLwl, OpLwr, OpLwc1:
+		c.load(in, rs, ev)
+	case OpSb, OpSh, OpSw, OpSwl, OpSwr, OpSwc1:
+		c.storeOp(in, rs, ev)
+
+	case OpSyscall:
+		c.syscall(ev)
+	case OpBreak:
+		c.fail("break")
+
+	case OpMfc1:
+		c.regs[in.Rt] = c.fregs[in.Rd]
+	case OpMtc1:
+		c.fregs[in.Rd] = c.regs[in.Rt]
+
+	case OpAddS, OpSubS, OpMulS, OpDivS:
+		a, b := c.fs(in.Rd), c.fs(in.Rt)
+		c.setFS(in.Sa, fArithS(in.Op, a, b))
+	case OpAddD, OpSubD, OpMulD, OpDivD:
+		a, b := c.fd(in.Rd), c.fd(in.Rt)
+		c.setFD(in.Sa, fArithD(in.Op, a, b))
+	case OpAbsS:
+		c.setFS(in.Sa, float32(math.Abs(float64(c.fs(in.Rd)))))
+	case OpAbsD:
+		c.setFD(in.Sa, math.Abs(c.fd(in.Rd)))
+	case OpMovS:
+		c.fregs[in.Sa] = c.fregs[in.Rd]
+	case OpMovD:
+		c.fregs[in.Sa] = c.fregs[in.Rd]
+		c.fregs[in.Sa+1] = c.fregs[in.Rd+1]
+	case OpNegS:
+		c.setFS(in.Sa, -c.fs(in.Rd))
+	case OpNegD:
+		c.setFD(in.Sa, -c.fd(in.Rd))
+
+	case OpCvtSW:
+		c.setFS(in.Sa, float32(int32(c.fregs[in.Rd])))
+	case OpCvtDW:
+		c.setFD(in.Sa, float64(int32(c.fregs[in.Rd])))
+	case OpCvtSD:
+		c.setFS(in.Sa, float32(c.fd(in.Rd)))
+	case OpCvtDS:
+		c.setFD(in.Sa, float64(c.fs(in.Rd)))
+	case OpCvtWS:
+		c.fregs[in.Sa] = uint32(int32(c.fs(in.Rd)))
+	case OpCvtWD:
+		c.fregs[in.Sa] = uint32(int32(c.fd(in.Rd)))
+
+	case OpCEqS:
+		c.fcc = c.fs(in.Rd) == c.fs(in.Rt)
+	case OpCEqD:
+		c.fcc = c.fd(in.Rd) == c.fd(in.Rt)
+	case OpCLtS:
+		c.fcc = c.fs(in.Rd) < c.fs(in.Rt)
+	case OpCLtD:
+		c.fcc = c.fd(in.Rd) < c.fd(in.Rt)
+	case OpCLeS:
+		c.fcc = c.fs(in.Rd) <= c.fs(in.Rt)
+	case OpCLeD:
+		c.fcc = c.fd(in.Rd) <= c.fd(in.Rt)
+	case OpBc1t:
+		if c.fcc {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+	case OpBc1f:
+		if !c.fcc {
+			c.branchTo(branchTarget(curPC, in.Imm), ev)
+		}
+
+	default:
+		c.fail("unimplemented %s", in.Op.Name())
+	}
+}
+
+func branchTarget(curPC uint32, imm int32) uint32 {
+	return curPC + 4 + uint32(imm)<<2
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Single/double register views. Doubles occupy even/odd pairs with the
+// low word in the even register (little-endian pairing).
+func (c *CPU) fs(r uint8) float32 { return math.Float32frombits(c.fregs[r]) }
+func (c *CPU) setFS(r uint8, v float32) {
+	c.fregs[r] = math.Float32bits(v)
+}
+func (c *CPU) fd(r uint8) float64 {
+	return math.Float64frombits(uint64(c.fregs[r]) | uint64(c.fregs[r+1])<<32)
+}
+func (c *CPU) setFD(r uint8, v float64) {
+	bits := math.Float64bits(v)
+	c.fregs[r] = uint32(bits)
+	c.fregs[r+1] = uint32(bits >> 32)
+}
+
+func fArithS(op Op, a, b float32) float32 {
+	switch op {
+	case OpAddS:
+		return a + b
+	case OpSubS:
+		return a - b
+	case OpMulS:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func fArithD(op Op, a, b float64) float64 {
+	switch op {
+	case OpAddD:
+		return a + b
+	case OpSubD:
+		return a - b
+	case OpMulD:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func (c *CPU) load(in Instr, base uint32, ev *trace.Event) {
+	addr := base + uint32(in.Imm)
+	ev.Kind = trace.Load
+	ev.Data = addr
+	ev.Size = in.Op.AccessBytes()
+	switch in.Op {
+	case OpLb:
+		c.regs[in.Rt] = uint32(int32(int8(c.mem.Byte(addr))))
+		c.lastLoadReg = in.Rt
+	case OpLbu:
+		c.regs[in.Rt] = uint32(c.mem.Byte(addr))
+		c.lastLoadReg = in.Rt
+	case OpLh:
+		c.regs[in.Rt] = uint32(int32(int16(c.mem.Half(addr &^ 1))))
+		c.lastLoadReg = in.Rt
+	case OpLhu:
+		c.regs[in.Rt] = uint32(c.mem.Half(addr &^ 1))
+		c.lastLoadReg = in.Rt
+	case OpLw:
+		c.regs[in.Rt] = c.mem.Word(addr &^ 3)
+		c.lastLoadReg = in.Rt
+	case OpLwl:
+		// Little-endian: bytes [addr&^3 .. addr] merge into the top
+		// b+1 bytes of rt.
+		b := addr & 3
+		w := uint64(c.mem.Word(addr &^ 3))
+		keep := uint64(1)<<((3-b)*8) - 1
+		c.regs[in.Rt] = uint32(w<<((3-b)*8)) | c.regs[in.Rt]&uint32(keep)
+		c.lastLoadReg = in.Rt
+		ev.Size = uint8(b + 1)
+	case OpLwr:
+		// Little-endian: bytes [addr .. addr|3] merge into the bottom
+		// 4-b bytes of rt.
+		b := addr & 3
+		w := c.mem.Word(addr &^ 3)
+		low := uint64(1)<<((4-b)*8) - 1
+		c.regs[in.Rt] = c.regs[in.Rt]&^uint32(low) | (w>>(8*b))&uint32(low)
+		c.lastLoadReg = in.Rt
+		ev.Size = uint8(4 - b)
+	case OpLwc1:
+		c.fregs[in.Rt] = c.mem.Word(addr &^ 3)
+		c.lastLoadFReg = int16(in.Rt)
+	}
+}
+
+func (c *CPU) storeOp(in Instr, base uint32, ev *trace.Event) {
+	addr := base + uint32(in.Imm)
+	ev.Kind = trace.Store
+	ev.Data = addr
+	ev.Size = in.Op.AccessBytes()
+	switch in.Op {
+	case OpSb:
+		c.mem.SetByte(addr, byte(c.regs[in.Rt]))
+	case OpSh:
+		c.mem.SetHalf(addr&^1, uint16(c.regs[in.Rt]))
+	case OpSw:
+		c.mem.SetWord(addr&^3, c.regs[in.Rt])
+	case OpSwl:
+		// Little-endian: store the top b+1 bytes of rt into
+		// [addr&^3 .. addr].
+		b := addr & 3
+		old := uint64(c.mem.Word(addr &^ 3))
+		low := uint64(1)<<((b+1)*8) - 1
+		c.mem.SetWord(addr&^3, uint32(old&^low)|uint32(c.regs[in.Rt]>>((3-b)*8)))
+		ev.Size = uint8(b + 1)
+	case OpSwr:
+		// Little-endian: store the bottom 4-b bytes of rt into
+		// [addr .. addr|3].
+		b := addr & 3
+		old := c.mem.Word(addr &^ 3)
+		keep := uint32(1)<<(8*b) - 1
+		c.mem.SetWord(addr&^3, old&keep|c.regs[in.Rt]<<(8*b))
+		ev.Size = uint8(4 - b)
+	case OpSwc1:
+		c.mem.SetWord(addr&^3, c.fregs[in.Rt])
+	}
+}
+
+func (c *CPU) syscall(ev *trace.Event) {
+	ev.Syscall = true
+	switch code := c.regs[2]; code { // $v0
+	case SysPrintInt:
+		c.print(strconv.FormatInt(int64(int32(c.regs[4])), 10))
+	case SysPrintString:
+		c.print(c.mem.CString(c.regs[4]))
+	case SysPrintChar:
+		c.print(string(rune(c.regs[4])))
+	case SysReadInt:
+		var v int32
+		if len(c.input) > 0 {
+			v = c.input[0]
+			c.input = c.input[1:]
+		}
+		c.regs[2] = uint32(v)
+	case SysSbrk:
+		c.regs[2] = c.heapEnd
+		c.heapEnd += (c.regs[4] + 7) &^ 7
+	case SysExit:
+		c.exit = c.regs[4]
+		c.halted = true
+	default:
+		c.fail("unknown syscall %d", code)
+	}
+}
+
+func (c *CPU) print(s string) {
+	if c.output.Len()+len(s) <= outputCap {
+		c.output.WriteString(s)
+	}
+}
+
+// interlockStall models the load-delay interlock: one stall cycle when
+// an instruction uses the register loaded by its immediate predecessor.
+func (c *CPU) interlockStall(in Instr) uint8 {
+	if c.lastLoadReg != 0 && readsIntReg(in, c.lastLoadReg) {
+		return 1
+	}
+	if c.lastLoadFReg >= 0 && readsFReg(in, uint8(c.lastLoadFReg)) {
+		return 1
+	}
+	return 0
+}
+
+// readsIntReg reports whether in reads integer register r.
+func readsIntReg(in Instr, r uint8) bool {
+	info := opTable[in.Op]
+	switch info.class {
+	case clsR:
+		switch in.Op {
+		case OpSll, OpSrl, OpSra:
+			return in.Rt == r
+		case OpMfhi, OpMflo, OpSyscall, OpBreak:
+			return false
+		case OpJr, OpMthi, OpMtlo:
+			return in.Rs == r
+		case OpJalr:
+			return in.Rs == r
+		}
+		return in.Rs == r || in.Rt == r
+	case clsRegimm:
+		return in.Rs == r
+	case clsI, clsIU:
+		if in.Op == OpLui {
+			return false
+		}
+		if in.Op.IsStore() || in.Op == OpBeq || in.Op == OpBne {
+			return in.Rs == r || (in.Op != OpSwc1 && in.Rt == r)
+		}
+		if in.Op == OpLwl || in.Op == OpLwr {
+			return in.Rs == r || in.Rt == r // merging loads read rt too
+		}
+		return in.Rs == r
+	case clsFMove:
+		return in.Op == OpMtc1 && in.Rt == r
+	}
+	return false
+}
+
+// readsFReg reports whether in reads FP register r (including the odd
+// half of a double pair).
+func readsFReg(in Instr, r uint8) bool {
+	switch in.Op {
+	case OpSwc1:
+		return in.Rt == r
+	case OpMfc1:
+		return in.Rd == r
+	case OpAddS, OpSubS, OpMulS, OpDivS, OpCEqS, OpCLtS, OpCLeS:
+		return in.Rd == r || in.Rt == r
+	case OpAddD, OpSubD, OpMulD, OpDivD, OpCEqD, OpCLtD, OpCLeD:
+		return in.Rd == r || in.Rd+1 == r || in.Rt == r || in.Rt+1 == r
+	case OpAbsS, OpMovS, OpNegS, OpCvtDS, OpCvtWS, OpCvtSW, OpCvtDW:
+		return in.Rd == r
+	case OpAbsD, OpMovD, OpNegD, OpCvtSD, OpCvtWD:
+		return in.Rd == r || in.Rd+1 == r
+	}
+	return false
+}
+
+// opStall returns the fixed multicycle cost of an operation beyond its
+// single issue cycle: the HI/LO unit and the FP coprocessor run
+// multicycle operations that interlock the pipeline.
+func opStall(op Op) uint8 {
+	switch op {
+	case OpMult, OpMultu:
+		return 3
+	case OpDiv, OpDivu:
+		return 16
+	case OpAddS, OpSubS, OpAddD, OpSubD:
+		return 1
+	case OpMulS:
+		return 3
+	case OpMulD:
+		return 4
+	case OpDivS:
+		return 10
+	case OpDivD:
+		return 18
+	case OpCvtSW, OpCvtDW, OpCvtSD, OpCvtDS, OpCvtWS, OpCvtWD:
+		return 1
+	case OpCEqS, OpCEqD, OpCLtS, OpCLtD, OpCLeS, OpCLeD:
+		return 1
+	}
+	return 0
+}
+
+// Run executes until the program halts or maxSteps instructions have
+// run (0 = no limit), discarding the trace. It returns the execution
+// error, if any.
+func (c *CPU) Run(maxSteps uint64) error {
+	saved := c.MaxSteps
+	if maxSteps > 0 {
+		c.MaxSteps = c.steps + maxSteps
+	}
+	var ev trace.Event
+	for c.Next(&ev) {
+	}
+	c.MaxSteps = saved
+	return c.err
+}

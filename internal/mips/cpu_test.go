@@ -1,0 +1,618 @@
+package mips
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// runProgram assembles and runs src to completion, failing the test on
+// assembly or execution errors.
+func runProgram(t *testing.T, src string) *CPU {
+	t.Helper()
+	p := mustAsm(t, src)
+	c := NewCPU(p)
+	c.MaxSteps = 50_000_000
+	if err := c.Run(0); err != nil {
+		t.Fatalf("run: %v (output %q)", err, c.Output())
+	}
+	return c
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	c := runProgram(t, `
+main:	li $t0, 6
+	li $t1, 7
+	mul $t2, $t0, $t1
+	move $a0, $t2
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != "42" {
+		t.Fatalf("output %q, want 42", got)
+	}
+	if !c.Halted() || c.Err() != nil {
+		t.Fatal("program did not halt cleanly")
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..100 = 5050.
+	c := runProgram(t, `
+main:	li $t0, 100
+	li $t1, 0
+loop:	add $t1, $t1, $t0
+	addi $t0, $t0, -1
+	bgtz $t0, loop
+	move $a0, $t1
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != "5050" {
+		t.Fatalf("output %q, want 5050", got)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	c := runProgram(t, `
+	.data
+arr:	.word 10, 20, 30
+	.text
+main:	la $t0, arr
+	lw $t1, 0($t0)
+	lw $t2, 4($t0)
+	add $t3, $t1, $t2
+	sw $t3, 8($t0)
+	lb $t4, 0($t0)
+	sb $t4, 1($t0)
+	lh $t5, 0($t0)
+	sh $t5, 2($t0)
+	li $v0, 10
+	syscall
+`)
+	if got := c.Mem().Word(DataBase + 8); got != 30 {
+		t.Fatalf("arr[2] = %d, want 30", got)
+	}
+	if got := c.Mem().Byte(DataBase + 1); got != 10 {
+		t.Fatalf("sb result = %d, want 10", got)
+	}
+}
+
+func TestSignedLoads(t *testing.T) {
+	c := runProgram(t, `
+	.data
+h:	.half -2
+b:	.byte -1
+	.text
+main:	lb $t0, b
+	lbu $t1, b
+	lh $t2, h
+	lhu $t3, h
+	li $v0, 10
+	syscall
+`)
+	if c.Reg(8) != 0xffffffff || c.Reg(9) != 0xff {
+		t.Fatalf("lb/lbu = %#x/%#x", c.Reg(8), c.Reg(9))
+	}
+	if c.Reg(10) != 0xfffffffe || c.Reg(11) != 0xfffe {
+		t.Fatalf("lh/lhu = %#x/%#x", c.Reg(10), c.Reg(11))
+	}
+}
+
+func TestFunctionCallAndStack(t *testing.T) {
+	// square(12) via jal/jr with a stack frame.
+	c := runProgram(t, `
+main:	li $a0, 12
+	jal square
+	move $a0, $v0
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+square:	addi $sp, $sp, -4
+	sw $ra, 0($sp)
+	mul $v0, $a0, $a0
+	lw $ra, 0($sp)
+	addi $sp, $sp, 4
+	jr $ra
+`)
+	if got := c.Output(); got != "144" {
+		t.Fatalf("output %q, want 144", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	// fib(12) = 144, recursively.
+	c := runProgram(t, `
+main:	li $a0, 12
+	jal fib
+	move $a0, $v0
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+fib:	slti $t0, $a0, 2
+	beqz $t0, rec
+	move $v0, $a0
+	jr $ra
+rec:	addi $sp, $sp, -12
+	sw $ra, 0($sp)
+	sw $a0, 4($sp)
+	addi $a0, $a0, -1
+	jal fib
+	sw $v0, 8($sp)
+	lw $a0, 4($sp)
+	addi $a0, $a0, -2
+	jal fib
+	lw $t0, 8($sp)
+	add $v0, $v0, $t0
+	lw $ra, 0($sp)
+	addi $sp, $sp, 12
+	jr $ra
+`)
+	if got := c.Output(); got != "144" {
+		t.Fatalf("output %q, want 144", got)
+	}
+}
+
+func TestDivideAndRemainder(t *testing.T) {
+	c := runProgram(t, `
+main:	li $t0, 47
+	li $t1, 5
+	div $t2, $t0, $t1
+	rem $t3, $t0, $t1
+	li $t4, -47
+	div $t5, $t4, $t1
+	li $v0, 10
+	syscall
+`)
+	if c.Reg(10) != 9 || c.Reg(11) != 2 {
+		t.Fatalf("47/5 = %d rem %d", int32(c.Reg(10)), int32(c.Reg(11)))
+	}
+	if int32(c.Reg(13)) != -9 {
+		t.Fatalf("-47/5 = %d, want -9", int32(c.Reg(13)))
+	}
+}
+
+func TestFloatingPointDouble(t *testing.T) {
+	// (1.5 + 2.25) * 2.0 = 7.5; compare against 7.5 and print 1.
+	c := runProgram(t, `
+	.data
+a:	.double 1.5
+b:	.double 2.25
+two:	.double 2.0
+want:	.double 7.5
+	.text
+main:	l.d $f0, a
+	l.d $f2, b
+	add.d $f4, $f0, $f2
+	l.d $f6, two
+	mul.d $f8, $f4, $f6
+	l.d $f10, want
+	c.eq.d $f8, $f10
+	bc1t good
+	li $a0, 0
+	b print
+good:	li $a0, 1
+print:	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != "1" {
+		t.Fatalf("output %q, want 1", got)
+	}
+}
+
+func TestFloatingPointSingleAndConvert(t *testing.T) {
+	c := runProgram(t, `
+	.data
+half:	.float 0.5
+	.text
+main:	li $t0, 21
+	mtc1 $t0, $f0
+	cvt.s.w $f1, $f0
+	l.s $f2, half
+	div.s $f3, $f1, $f2   # 21 / 0.5 = 42
+	cvt.w.s $f4, $f3
+	mfc1 $a0, $f4
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != "42" {
+		t.Fatalf("output %q, want 42", got)
+	}
+}
+
+func TestSyscallsPrintAndSbrk(t *testing.T) {
+	c := runProgram(t, `
+	.data
+msg:	.asciiz "n="
+	.text
+main:	la $a0, msg
+	li $v0, 4
+	syscall
+	li $a0, 7
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+	li $a0, 64
+	li $v0, 9
+	syscall
+	move $t0, $v0
+	sw $t0, 0($t0)
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != "n=7\n" {
+		t.Fatalf("output %q, want \"n=7\\n\"", got)
+	}
+}
+
+func TestReadIntInput(t *testing.T) {
+	p := mustAsm(t, `
+main:	li $v0, 5
+	syscall
+	move $a0, $v0
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	c.SetInput([]int32{-321})
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Output(); got != "-321" {
+		t.Fatalf("output %q, want -321", got)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+v:	.word 5
+	.text
+main:	la $t0, v
+	lw $t1, 0($t0)
+	sw $t1, 4($t0)
+	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	tr := trace.Collect(c)
+	if c.Err() != nil {
+		t.Fatal(c.Err())
+	}
+	events := tr.Events()
+	// la(2) + lw + sw + li + syscall = 6 events.
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	for i, ev := range events {
+		if want := TextBase + uint32(i)*4; ev.PC != want {
+			t.Fatalf("event %d PC %#x, want %#x", i, ev.PC, want)
+		}
+	}
+	if events[2].Kind != trace.Load || events[2].Data != DataBase || events[2].Size != 4 {
+		t.Fatalf("load event wrong: %+v", events[2])
+	}
+	if events[3].Kind != trace.Store || events[3].Data != DataBase+4 {
+		t.Fatalf("store event wrong: %+v", events[3])
+	}
+	if !events[5].Syscall {
+		t.Fatal("syscall event not flagged")
+	}
+}
+
+func TestLoadUseInterlockStall(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+v:	.word 5
+	.text
+main:	la $t0, v
+	lw $t1, 0($t0)
+	add $t2, $t1, $t1   # uses $t1 right after the load: 1 stall
+	lw $t3, 0($t0)
+	add $t4, $t0, $t0   # does not use $t3: no stall
+	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	tr := trace.Collect(c)
+	events := tr.Events()
+	if events[3].Stall != 1 {
+		t.Fatalf("dependent add stall = %d, want 1", events[3].Stall)
+	}
+	if events[5].Stall != 0 {
+		t.Fatalf("independent add stall = %d, want 0", events[5].Stall)
+	}
+}
+
+func TestBranchTakenStall(t *testing.T) {
+	p := mustAsm(t, `
+main:	li $t0, 1
+	beqz $t0, skip      # not taken: no stall
+	bnez $t0, skip      # taken: 1 stall
+skip:	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	tr := trace.Collect(c)
+	events := tr.Events()
+	// Layout: addiu, beq, nop, bne, nop, addiu, syscall.
+	if events[1].Stall != 0 {
+		t.Fatalf("untaken branch stall = %d, want 0", events[1].Stall)
+	}
+	if events[3].Stall != 1 {
+		t.Fatalf("taken branch stall = %d, want 1", events[3].Stall)
+	}
+}
+
+func TestMultiCycleStalls(t *testing.T) {
+	if opStall(OpMult) == 0 || opStall(OpDiv) == 0 || opStall(OpDivD) == 0 {
+		t.Fatal("multicycle operations report zero stall")
+	}
+	if opStall(OpAddu) != 0 || opStall(OpLw) != 0 {
+		t.Fatal("single-cycle operations report stalls")
+	}
+}
+
+func TestDelaySlotExecutesBeforeBranch(t *testing.T) {
+	// In noreorder mode the delay-slot instruction runs even when the
+	// branch is taken.
+	c := runProgram(t, `
+	.set noreorder
+main:	li $t0, 0
+	b over
+	li $t0, 99          # delay slot: executes
+	li $t0, 1           # skipped
+over:	move $a0, $t0
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+	nop
+`)
+	if got := c.Output(); got != "99" {
+		t.Fatalf("output %q, want 99 (delay slot must execute)", got)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := mustAsm(t, `
+main:	b main
+`)
+	c := NewCPU(p)
+	c.MaxSteps = 100
+	if err := c.Run(0); err == nil {
+		t.Fatal("infinite loop did not hit the step limit")
+	}
+}
+
+func TestRunMaxStepsArgument(t *testing.T) {
+	p := mustAsm(t, "main:\tb main")
+	c := NewCPU(p)
+	if err := c.Run(50); err == nil {
+		t.Fatal("Run(50) did not stop the infinite loop")
+	}
+}
+
+func TestBadFetchFails(t *testing.T) {
+	p := mustAsm(t, `
+	.set noreorder
+main:	li $t0, 0x20000
+	jr $t0
+	nop
+`)
+	c := NewCPU(p)
+	if err := c.Run(0); err == nil {
+		t.Fatal("fetch outside text did not fail")
+	}
+}
+
+func TestBreakHalts(t *testing.T) {
+	p := mustAsm(t, "main:\tbreak")
+	c := NewCPU(p)
+	if err := c.Run(0); err == nil || !strings.Contains(err.Error(), "break") {
+		t.Fatalf("break: %v", err)
+	}
+}
+
+func TestUnknownSyscallFails(t *testing.T) {
+	p := mustAsm(t, "main:\tli $v0, 99\n\tsyscall")
+	c := NewCPU(p)
+	if err := c.Run(0); err == nil {
+		t.Fatal("unknown syscall accepted")
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	c := runProgram(t, `
+main:	li $zero, 55
+	addi $0, $0, 7
+	li $v0, 10
+	syscall
+`)
+	if c.Reg(0) != 0 {
+		t.Fatalf("$zero = %d", c.Reg(0))
+	}
+}
+
+func TestExitCode(t *testing.T) {
+	c := runProgram(t, `
+main:	li $a0, 3
+	li $v0, 10
+	syscall
+`)
+	if c.ExitCode() != 3 {
+		t.Fatalf("exit code %d, want 3", c.ExitCode())
+	}
+}
+
+func TestReturnFromMainHalts(t *testing.T) {
+	// $ra starts at 0; jr $ra from the entry halts cleanly.
+	c := runProgram(t, `
+main:	li $t0, 5
+	jr $ra
+`)
+	if c.Err() != nil || !c.Halted() {
+		t.Fatalf("return from main: err=%v", c.Err())
+	}
+}
+
+func TestMemoryFootprintSparse(t *testing.T) {
+	c := runProgram(t, `
+main:	lui $t0, 0x4000
+	sw $t0, 0($t0)
+	li $v0, 10
+	syscall
+`)
+	// Text chunk + data-less + one far store: well under 1 MB.
+	if c.Mem().Footprint() > 1<<20 {
+		t.Fatalf("footprint %d too large for sparse memory", c.Mem().Footprint())
+	}
+}
+
+func TestUnalignedLoadStore(t *testing.T) {
+	// Store an unaligned word with usw, read it back with ulw.
+	c := runProgram(t, `
+	.data
+buf:	.space 16
+	.text
+main:	li $t0, 0x12345678
+	la $t1, buf
+	usw $t0, 3($t1)	# bytes 3..6
+	ulw $t2, 3($t1)
+	move $a0, $t2
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != fmt.Sprint(int32(0x12345678)) {
+		t.Fatalf("ulw/usw round trip printed %q", got)
+	}
+	// Memory bytes: little-endian 0x78 0x56 0x34 0x12 at offsets 3..6.
+	base := DataBase
+	want := []byte{0x78, 0x56, 0x34, 0x12}
+	for i, w := range want {
+		if got := c.Mem().Byte(base + 3 + uint32(i)); got != w {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, w)
+		}
+	}
+	// Neighbors untouched.
+	if c.Mem().Byte(base+2) != 0 || c.Mem().Byte(base+7) != 0 {
+		t.Fatal("usw disturbed neighboring bytes")
+	}
+}
+
+func TestLwlLwrMergeSemantics(t *testing.T) {
+	// lwr alone merges the low bytes; lwl alone merges the high bytes.
+	c := runProgram(t, `
+	.data
+w:	.word 0x11223344
+	.text
+main:	la $t0, w
+	li $t1, -1	# 0xffffffff
+	lwr $t1, 2($t0)	# low 2 bytes <- mem[2..3] = 0x1122
+	li $t2, -1
+	lwl $t2, 1($t0)	# high 2 bytes <- mem[0..1] = 0x3344
+	li $v0, 10
+	syscall
+`)
+	if got := c.Reg(9); got != 0xffff1122 {
+		t.Fatalf("lwr result %#x, want 0xffff1122", got)
+	}
+	if got := c.Reg(10); got != 0x3344ffff {
+		t.Fatalf("lwl result %#x, want 0x3344ffff", got)
+	}
+}
+
+func TestSwlSwrPartialStores(t *testing.T) {
+	c := runProgram(t, `
+	.data
+a:	.word -1
+b:	.word -1
+	.text
+main:	li $t0, 0x55667788
+	la $t1, a
+	swr $t0, 1($t1)	# bytes 1..3 <- low 3 bytes of $t0
+	la $t2, b
+	swl $t0, 1($t2)	# bytes 0..1 <- high 2 bytes of $t0
+	li $v0, 10
+	syscall
+`)
+	if got := c.Mem().Word(DataBase); got != 0x667788ff {
+		t.Fatalf("swr result %#08x, want 0x667788ff", got)
+	}
+	if got := c.Mem().Word(DataBase + 4); got != 0xffff5566 {
+		t.Fatalf("swl result %#08x, want 0xffff5566", got)
+	}
+}
+
+func TestLinkingBranches(t *testing.T) {
+	c := runProgram(t, `
+main:	li $t0, -5
+	bltzal $t0, hit	# taken, links
+	li $v0, 10	# delay nop inserted; then this runs after return
+	syscall
+hit:	move $a0, $ra	# $ra = address after the delay slot
+	li $v0, 1
+	syscall
+	jr $ra
+`)
+	// bltzal at TextBase+4 links to TextBase+12 (after its delay slot).
+	want := fmt.Sprint(TextBase + 12)
+	if got := strings.TrimSpace(c.Output()); got != want {
+		t.Fatalf("bltzal linked to %q, want %s", got, want)
+	}
+}
+
+func TestBgezalNotTakenStillLinks(t *testing.T) {
+	c := runProgram(t, `
+main:	li $t0, -1
+	li $ra, 0x1234
+	bgezal $t0, nowhere	# not taken, but still links
+	move $a0, $ra
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+nowhere:	jr $ra
+`)
+	// Link register updated even though the branch was not taken.
+	if got := strings.TrimSpace(c.Output()); got == "4660" { // 0x1234
+		t.Fatalf("bgezal did not link when untaken: $ra = %s", got)
+	}
+}
+
+func TestLwlLwrInterlock(t *testing.T) {
+	p := mustAsm(t, `
+	.data
+w:	.word 7
+	.text
+main:	la $t0, w
+	lwr $t1, 0($t0)
+	add $t2, $t1, $t1	# depends on the merging load
+	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	tr := trace.Collect(c)
+	events := tr.Events()
+	if events[3].Stall != 1 {
+		t.Fatalf("dependent add after lwr stall = %d, want 1", events[3].Stall)
+	}
+}

@@ -1,0 +1,110 @@
+package mips
+
+import (
+	"fmt"
+	"strings"
+)
+
+// regName returns the conventional name of integer register r.
+func regName(r uint8) string {
+	names := [32]string{
+		"$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+		"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+		"$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+		"$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+	}
+	return names[r&31]
+}
+
+func fregName(r uint8) string { return fmt.Sprintf("$f%d", r&31) }
+
+// Disassemble renders a decoded instruction as assembler syntax. pc is
+// the instruction's address, used to render branch targets as absolute
+// addresses; pass 0 to render raw offsets.
+func Disassemble(in Instr, pc uint32) string {
+	name := in.Op.Name()
+	switch in.Op {
+	case OpSll, OpSrl, OpSra:
+		if in.Op == OpSll && in.Rd == 0 && in.Rt == 0 && in.Sa == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("%s %s, %s, %d", name, regName(in.Rd), regName(in.Rt), in.Sa)
+	case OpSllv, OpSrlv, OpSrav:
+		return fmt.Sprintf("%s %s, %s, %s", name, regName(in.Rd), regName(in.Rt), regName(in.Rs))
+	case OpAdd, OpAddu, OpSub, OpSubu, OpAnd, OpOr, OpXor, OpNor, OpSlt, OpSltu:
+		return fmt.Sprintf("%s %s, %s, %s", name, regName(in.Rd), regName(in.Rs), regName(in.Rt))
+	case OpMfhi, OpMflo:
+		return fmt.Sprintf("%s %s", name, regName(in.Rd))
+	case OpMthi, OpMtlo, OpJr:
+		return fmt.Sprintf("%s %s", name, regName(in.Rs))
+	case OpJalr:
+		if in.Rd != 31 {
+			return fmt.Sprintf("%s %s, %s", name, regName(in.Rd), regName(in.Rs))
+		}
+		return fmt.Sprintf("%s %s", name, regName(in.Rs))
+	case OpMult, OpMultu, OpDiv, OpDivu:
+		return fmt.Sprintf("%s %s, %s", name, regName(in.Rs), regName(in.Rt))
+	case OpSyscall, OpBreak:
+		return name
+	case OpJ, OpJal:
+		return fmt.Sprintf("%s %#x", name, in.Target)
+	case OpBeq, OpBne:
+		return fmt.Sprintf("%s %s, %s, %s", name, regName(in.Rs), regName(in.Rt), branchDest(pc, in.Imm))
+	case OpBlez, OpBgtz, OpBltz, OpBgez, OpBltzal, OpBgezal:
+		return fmt.Sprintf("%s %s, %s", name, regName(in.Rs), branchDest(pc, in.Imm))
+	case OpAddi, OpAddiu, OpSlti, OpSltiu, OpAndi, OpOri, OpXori:
+		return fmt.Sprintf("%s %s, %s, %d", name, regName(in.Rt), regName(in.Rs), in.Imm)
+	case OpLui:
+		return fmt.Sprintf("%s %s, %#x", name, regName(in.Rt), uint16(in.Imm))
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu, OpSb, OpSh, OpSw, OpLwl, OpLwr, OpSwl, OpSwr:
+		return fmt.Sprintf("%s %s, %d(%s)", name, regName(in.Rt), in.Imm, regName(in.Rs))
+	case OpLwc1, OpSwc1:
+		return fmt.Sprintf("%s %s, %d(%s)", name, fregName(in.Rt), in.Imm, regName(in.Rs))
+	case OpMfc1, OpMtc1:
+		return fmt.Sprintf("%s %s, %s", name, regName(in.Rt), fregName(in.Rd))
+	case OpAddS, OpAddD, OpSubS, OpSubD, OpMulS, OpMulD, OpDivS, OpDivD:
+		return fmt.Sprintf("%s %s, %s, %s", name, fregName(in.Sa), fregName(in.Rd), fregName(in.Rt))
+	case OpAbsS, OpAbsD, OpMovS, OpMovD, OpNegS, OpNegD,
+		OpCvtSW, OpCvtDW, OpCvtSD, OpCvtDS, OpCvtWS, OpCvtWD:
+		return fmt.Sprintf("%s %s, %s", name, fregName(in.Sa), fregName(in.Rd))
+	case OpCEqS, OpCEqD, OpCLtS, OpCLtD, OpCLeS, OpCLeD:
+		return fmt.Sprintf("%s %s, %s", name, fregName(in.Rd), fregName(in.Rt))
+	case OpBc1t, OpBc1f:
+		return fmt.Sprintf("%s %s", name, branchDest(pc, in.Imm))
+	}
+	return fmt.Sprintf("%s ?", name)
+}
+
+func branchDest(pc uint32, imm int32) string {
+	if pc == 0 {
+		return fmt.Sprintf("%d", imm)
+	}
+	return fmt.Sprintf("%#x", pc+4+uint32(imm)<<2)
+}
+
+// DisassembleWord decodes and renders one machine word.
+func DisassembleWord(w uint32, pc uint32) string {
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Sprintf(".word %#08x", w)
+	}
+	return Disassemble(in, pc)
+}
+
+// DisassembleProgram renders the whole text segment with addresses and
+// label annotations from the symbol table.
+func DisassembleProgram(p *Program) string {
+	byAddr := make(map[uint32][]string)
+	for name, addr := range p.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	var b strings.Builder
+	for i, w := range p.Text {
+		pc := TextBase + uint32(i)*4
+		for _, label := range byAddr[pc] {
+			fmt.Fprintf(&b, "%s:\n", label)
+		}
+		fmt.Fprintf(&b, "  %08x:  %08x  %s\n", pc, w, DisassembleWord(w, pc))
+	}
+	return b.String()
+}

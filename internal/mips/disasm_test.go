@@ -1,0 +1,105 @@
+package mips
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDisassembleKnown(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		pc   uint32
+		want string
+	}{
+		{Instr{Op: OpAddu, Rd: 8, Rs: 9, Rt: 10}, 0, "addu $t0, $t1, $t2"},
+		{Instr{Op: OpLw, Rt: 8, Rs: 29, Imm: 4}, 0, "lw $t0, 4($sp)"},
+		{Instr{Op: OpSw, Rt: 8, Rs: 29, Imm: -4}, 0, "sw $t0, -4($sp)"},
+		{Instr{Op: OpSll}, 0, "nop"},
+		{Instr{Op: OpSll, Rd: 8, Rt: 9, Sa: 2}, 0, "sll $t0, $t1, 2"},
+		{Instr{Op: OpJal, Target: 0x400000}, 0, "jal 0x400000"},
+		{Instr{Op: OpBeq, Rs: 4, Rt: 0, Imm: 3}, 0x1000, "beq $a0, $zero, 0x1010"},
+		{Instr{Op: OpBeq, Rs: 4, Rt: 0, Imm: 3}, 0, "beq $a0, $zero, 3"},
+		{Instr{Op: OpLui, Rt: 2, Imm: 0x1000}, 0, "lui $v0, 0x1000"},
+		{Instr{Op: OpSyscall}, 0, "syscall"},
+		{Instr{Op: OpAddD, Sa: 4, Rd: 2, Rt: 0}, 0, "add.d $f4, $f2, $f0"},
+		{Instr{Op: OpMtc1, Rt: 8, Rd: 2}, 0, "mtc1 $t0, $f2"},
+		{Instr{Op: OpCLtD, Rd: 2, Rt: 4}, 0, "c.lt.d $f2, $f4"},
+		{Instr{Op: OpBc1t, Imm: -2}, 0x100, "bc1t 0xfc"},
+		{Instr{Op: OpMflo, Rd: 9}, 0, "mflo $t1"},
+		{Instr{Op: OpJr, Rs: 31}, 0, "jr $ra"},
+	}
+	for _, tt := range tests {
+		if got := Disassemble(tt.in, tt.pc); got != tt.want {
+			t.Errorf("Disassemble(%s) = %q, want %q", tt.in.Op.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestDisassembleWordInvalid(t *testing.T) {
+	got := DisassembleWord(0x7c000000, 0)
+	if !strings.HasPrefix(got, ".word") {
+		t.Fatalf("invalid word rendered as %q", got)
+	}
+}
+
+// Property: for every encodable instruction, disassembling (with pc 0)
+// and re-assembling in noreorder mode reproduces the identical machine
+// word. This closes the loop across the assembler, encoder, decoder,
+// and disassembler.
+func TestDisasmReassembleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	checked := 0
+	for i := 0; i < 3000; i++ {
+		in := randomCanonical(r)
+		switch in.Op {
+		case OpJ, OpJal:
+			// Jump targets must land in the text segment to reassemble;
+			// handled by the known-encodings test instead.
+			continue
+		case OpBeq, OpBne, OpBlez, OpBgtz, OpBltz, OpBgez, OpBc1t, OpBc1f:
+			// Branch offsets render as raw numbers at pc 0, which the
+			// assembler accepts as numeric targets.
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asm := Disassemble(in, 0)
+		if asm == "nop" && in.Op == OpSll && (in.Rd != 0 || in.Rt != 0 || in.Sa != 0) {
+			t.Fatalf("non-canonical nop for %+v", in)
+		}
+		src := ".set noreorder\n\t" + asm + "\n"
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("reassembling %q (from %+v): %v", asm, in, err)
+		}
+		if len(p.Text) != 1 {
+			t.Fatalf("%q assembled to %d words", asm, len(p.Text))
+		}
+		if p.Text[0] != w {
+			back, _ := Decode(p.Text[0])
+			t.Fatalf("%q: %#08x -> %#08x (%+v vs %+v)", asm, w, p.Text[0], in, back)
+		}
+		checked++
+	}
+	if checked < 2000 {
+		t.Fatalf("only %d instructions checked", checked)
+	}
+}
+
+func TestDisassembleProgram(t *testing.T) {
+	p := mustAsm(t, `
+main:	li $t0, 5
+loop:	addi $t0, $t0, -1
+	bnez $t0, loop
+	li $v0, 10
+	syscall
+`)
+	out := DisassembleProgram(p)
+	for _, want := range []string{"main:", "loop:", "addiu $t0, $zero, 5", "bne $t0, $zero, 0x400004", "syscall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

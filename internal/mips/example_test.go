@@ -1,0 +1,40 @@
+package mips_test
+
+import (
+	"fmt"
+
+	"repro/internal/mips"
+)
+
+// Assemble a small program, run it, and read its output — the full
+// assembler/emulator pipeline in a few lines.
+func ExampleAssemble() {
+	prog, err := mips.Assemble(`
+main:	li $t0, 6
+	li $t1, 7
+	mul $a0, $t0, $t1
+	li $v0, 1	# print_int
+	syscall
+	li $v0, 10	# exit
+	syscall
+`)
+	if err != nil {
+		panic(err)
+	}
+	cpu := mips.NewCPU(prog)
+	if err := cpu.Run(0); err != nil {
+		panic(err)
+	}
+	fmt.Println(cpu.Output())
+	// Output: 42
+}
+
+// Decode and disassemble one machine word.
+func ExampleDecode() {
+	in, err := mips.Decode(0x012a4021)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mips.Disassemble(in, 0))
+	// Output: addu $t0, $t1, $t2
+}

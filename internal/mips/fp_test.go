@@ -1,0 +1,230 @@
+package mips
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// runFP runs a tiny FP program and returns the CPU for inspection.
+func TestFPSingleOps(t *testing.T) {
+	c := runProgram(t, `
+	.data
+a:	.float 3.0
+b:	.float -2.0
+	.text
+main:	l.s $f0, a
+	l.s $f2, b
+	add.s $f4, $f0, $f2	# 1.0
+	sub.s $f6, $f0, $f2	# 5.0
+	mul.s $f8, $f0, $f2	# -6.0
+	abs.s $f10, $f8		# 6.0
+	neg.s $f12, $f0		# -3.0
+	mov.s $f14, $f6		# 5.0
+	li $v0, 10
+	syscall
+`)
+	checks := []struct {
+		reg  int
+		want float32
+	}{{4, 1}, {6, 5}, {8, -6}, {10, 6}, {12, -3}, {14, 5}}
+	for _, tt := range checks {
+		got := math.Float32frombits(c.fregs[tt.reg])
+		if got != tt.want {
+			t.Errorf("$f%d = %g, want %g", tt.reg, got, tt.want)
+		}
+	}
+}
+
+func TestFPDoubleOps(t *testing.T) {
+	c := runProgram(t, `
+	.data
+a:	.double 4.0
+b:	.double -0.5
+	.text
+main:	l.d $f0, a
+	l.d $f2, b
+	abs.d $f4, $f2		# 0.5
+	neg.d $f6, $f0		# -4.0
+	mov.d $f8, $f0		# 4.0
+	div.d $f10, $f0, $f2	# -8.0
+	sub.d $f12, $f0, $f2	# 4.5
+	li $v0, 10
+	syscall
+`)
+	fd := func(r uint8) float64 {
+		return math.Float64frombits(uint64(c.fregs[r]) | uint64(c.fregs[r+1])<<32)
+	}
+	checks := []struct {
+		reg  uint8
+		want float64
+	}{{4, 0.5}, {6, -4}, {8, 4}, {10, -8}, {12, 4.5}}
+	for _, tt := range checks {
+		if got := fd(tt.reg); got != tt.want {
+			t.Errorf("$f%d = %g, want %g", tt.reg, got, tt.want)
+		}
+	}
+}
+
+func TestFPComparisonsAndConversions(t *testing.T) {
+	c := runProgram(t, `
+	.data
+one:	.float 1.0
+two:	.float 2.0
+oned:	.double 1.0
+	.text
+main:	l.s $f0, one
+	l.s $f2, two
+	li $s0, 0
+	c.le.s $f0, $f2
+	bc1f over1
+	addi $s0, $s0, 1	# 1 <= 2: +1
+over1:	c.eq.s $f0, $f2
+	bc1t over2
+	addi $s0, $s0, 2	# 1 != 2: +2
+over2:	l.d $f4, oned
+	cvt.s.d $f6, $f4	# 1.0 single
+	c.eq.s $f6, $f0
+	bc1f over3
+	addi $s0, $s0, 4	# cvt.s.d exact: +4
+over3:	cvt.d.s $f8, $f2	# 2.0 double
+	cvt.w.d $f10, $f8
+	mfc1 $t0, $f10
+	li $t1, 2
+	bne $t0, $t1, over4
+	addi $s0, $s0, 8	# cvt.w.d(2.0) == 2: +8
+over4:	c.le.d $f8, $f4
+	bc1t over5
+	addi $s0, $s0, 16	# !(2 <= 1): +16
+over5:	c.lt.s $f0, $f2
+	bc1f over6
+	addi $s0, $s0, 32	# 1 < 2: +32
+over6:	move $a0, $s0
+	li $v0, 1
+	syscall
+	li $v0, 10
+	syscall
+`)
+	if got := c.Output(); got != "63" {
+		t.Fatalf("FP comparison/conversion bitmap = %q, want 63", got)
+	}
+}
+
+func TestMemoryHelpers(t *testing.T) {
+	var m Memory
+	m.WriteBytes(0x1000, []byte{1, 2, 3, 4, 5})
+	got := m.ReadBytes(0x1000, 5)
+	for i, b := range []byte{1, 2, 3, 4, 5} {
+		if got[i] != b {
+			t.Fatalf("ReadBytes[%d] = %d, want %d", i, got[i], b)
+		}
+	}
+	// Cross-chunk halfword/word accesses.
+	edge := uint32(chunkBytes - 2)
+	m.SetWord(edge, 0xdeadbeef)
+	if m.Word(edge) != 0xdeadbeef {
+		t.Fatalf("cross-chunk word = %#x", m.Word(edge))
+	}
+	m.SetHalf(uint32(chunkBytes-1)&^1, 0x1234)
+	if m.Half(uint32(chunkBytes-1)&^1) != 0x1234 {
+		t.Fatal("cross-chunk half failed")
+	}
+}
+
+func TestStepsAccessor(t *testing.T) {
+	p := mustAsm(t, "main:\tli $v0, 10\n\tsyscall")
+	c := NewCPU(p)
+	var ev trace.Event
+	for c.Next(&ev) {
+	}
+	if c.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", c.Steps())
+	}
+}
+
+func TestFRegReadsTracking(t *testing.T) {
+	// swc1 of a just-loaded FP register interlocks.
+	p := mustAsm(t, `
+	.data
+v:	.float 1.5
+	.text
+main:	la $t0, v
+	lwc1 $f0, 0($t0)
+	swc1 $f0, 4($t0)	# uses $f0 right after the load
+	lwc1 $f2, 0($t0)
+	add.s $f4, $f2, $f2	# uses $f2 right after the load
+	lwc1 $f6, 0($t0)
+	add.s $f8, $f0, $f0	# does not use $f6
+	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	tr := trace.Collect(c)
+	ev := tr.Events()
+	if ev[3].Stall != 1 {
+		t.Errorf("swc1 after lwc1 stall = %d, want 1", ev[3].Stall)
+	}
+	// add.s has its own 1-cycle op stall; interlock adds another.
+	if ev[5].Stall != 2 {
+		t.Errorf("dependent add.s stall = %d, want 2", ev[5].Stall)
+	}
+	if ev[7].Stall != 1 {
+		t.Errorf("independent add.s stall = %d, want 1 (op only)", ev[7].Stall)
+	}
+}
+
+func TestDoubleInterlock(t *testing.T) {
+	// A double op reading the odd half of a loaded pair interlocks.
+	p := mustAsm(t, `
+	.data
+d:	.double 2.0
+	.text
+main:	la $t0, d
+	lwc1 $f1, 4($t0)	# high half of $f0:$f1
+	add.d $f2, $f0, $f0	# reads $f0 AND $f1
+	li $v0, 10
+	syscall
+`)
+	c := NewCPU(p)
+	tr := trace.Collect(c)
+	ev := tr.Events()
+	// add.d op stall 1 + interlock 1 = 2.
+	if ev[3].Stall != 2 {
+		t.Errorf("add.d after odd-half load stall = %d, want 2", ev[3].Stall)
+	}
+}
+
+func TestAsmFRegErrors(t *testing.T) {
+	for _, src := range []string{
+		"main:\tadd.s $f1, $t0, $f2",
+		"main:\tlwc1 $f99, 0($t0)",
+		"main:\tmtc1 $t0, $t1",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted bad FP operand: %q", src)
+		}
+	}
+}
+
+func TestDataValueWithLabel(t *testing.T) {
+	// .word can reference an already-defined label (e.g. jump tables).
+	p := mustAsm(t, `
+	.data
+x:	.word 42
+ptr:	.word x
+	.text
+main:	li $v0, 10
+	syscall
+`)
+	off := p.Symbols["ptr"] - DataBase
+	got := uint32(p.Data[off]) | uint32(p.Data[off+1])<<8 |
+		uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+	if got != DataBase {
+		t.Fatalf("ptr = %#x, want %#x", got, DataBase)
+	}
+	// Forward references are rejected with a clear error.
+	if _, err := Assemble(".data\nptr:\t.word later\nlater:\t.word 1"); err == nil {
+		t.Fatal("forward .word reference accepted")
+	}
+}

@@ -1,0 +1,441 @@
+// Package mips implements the trace-generation substrate of the study:
+// a MIPS-I–subset assembler and emulator whose instrumented execution
+// produces the instruction and data address traces the paper obtained
+// from pixie-augmented binaries. The subset covers the integer ISA, the
+// HI/LO multiply/divide unit, and a single/double-precision floating
+// point coprocessor — enough to express the benchmark kernels in
+// internal/progs.
+package mips
+
+import "fmt"
+
+// Op identifies one machine operation of the implemented subset.
+type Op uint8
+
+// Integer, control, memory, and floating-point operations. The order is
+// arbitrary; encoding details live in opTable.
+const (
+	OpInvalid Op = iota
+
+	// Shifts and ALU register forms.
+	OpSll
+	OpSrl
+	OpSra
+	OpSllv
+	OpSrlv
+	OpSrav
+	OpAdd
+	OpAddu
+	OpSub
+	OpSubu
+	OpAnd
+	OpOr
+	OpXor
+	OpNor
+	OpSlt
+	OpSltu
+
+	// HI/LO unit.
+	OpMfhi
+	OpMthi
+	OpMflo
+	OpMtlo
+	OpMult
+	OpMultu
+	OpDiv
+	OpDivu
+
+	// Jumps and branches.
+	OpJr
+	OpJalr
+	OpJ
+	OpJal
+	OpBeq
+	OpBne
+	OpBlez
+	OpBgtz
+	OpBltz
+	OpBgez
+	OpBltzal
+	OpBgezal
+
+	// Immediate ALU forms.
+	OpAddi
+	OpAddiu
+	OpSlti
+	OpSltiu
+	OpAndi
+	OpOri
+	OpXori
+	OpLui
+
+	// Memory.
+	OpLb
+	OpLh
+	OpLw
+	OpLbu
+	OpLhu
+	OpSb
+	OpSh
+	OpSw
+	OpLwl
+	OpLwr
+	OpSwl
+	OpSwr
+
+	// System.
+	OpSyscall
+	OpBreak
+
+	// Floating point: loads/stores and register moves.
+	OpLwc1
+	OpSwc1
+	OpMfc1
+	OpMtc1
+
+	// Floating point arithmetic, single and double.
+	OpAddS
+	OpAddD
+	OpSubS
+	OpSubD
+	OpMulS
+	OpMulD
+	OpDivS
+	OpDivD
+	OpAbsS
+	OpAbsD
+	OpMovS
+	OpMovD
+	OpNegS
+	OpNegD
+
+	// Conversions.
+	OpCvtSW
+	OpCvtDW
+	OpCvtSD
+	OpCvtDS
+	OpCvtWS
+	OpCvtWD
+
+	// Comparisons and condition branches.
+	OpCEqS
+	OpCEqD
+	OpCLtS
+	OpCLtD
+	OpCLeS
+	OpCLeD
+	OpBc1f
+	OpBc1t
+
+	numOps
+)
+
+// Instr is one decoded instruction. Field use depends on the operation:
+// integer forms use Rs/Rt/Rd/Sa; immediates carry Imm (sign- or
+// zero-extended per the architecture at decode time); jumps carry
+// Target (a word-aligned byte address region); floating point reuses
+// Rt as ft, Rd as fs, and Sa as fd.
+type Instr struct {
+	Op     Op
+	Rs     uint8
+	Rt     uint8
+	Rd     uint8
+	Sa     uint8
+	Imm    int32
+	Target uint32
+}
+
+// encClass distinguishes the instruction formats for encoding.
+type encClass uint8
+
+const (
+	clsR      encClass = iota // op 0, funct
+	clsRegimm                 // op 1, rt selects
+	clsJ                      // op 2/3
+	clsI                      // immediate and memory forms
+	clsIU                     // immediate zero-extended (andi/ori/xori)
+	clsFArith                 // cop1 fmt arithmetic
+	clsFMove                  // mfc1/mtc1
+	clsFBC                    // bc1f/bc1t
+)
+
+type opInfo struct {
+	name  string
+	class encClass
+	op    uint32 // primary opcode
+	funct uint32 // R-type funct or cop1 funct
+	fmt   uint32 // cop1 fmt (16 = single, 17 = double)
+	sel   uint32 // regimm rt, cop1 rs (mfc1/mtc1), or bc condition bit
+}
+
+var opTable = [numOps]opInfo{
+	OpSll:     {"sll", clsR, 0, 0, 0, 0},
+	OpSrl:     {"srl", clsR, 0, 2, 0, 0},
+	OpSra:     {"sra", clsR, 0, 3, 0, 0},
+	OpSllv:    {"sllv", clsR, 0, 4, 0, 0},
+	OpSrlv:    {"srlv", clsR, 0, 6, 0, 0},
+	OpSrav:    {"srav", clsR, 0, 7, 0, 0},
+	OpJr:      {"jr", clsR, 0, 8, 0, 0},
+	OpJalr:    {"jalr", clsR, 0, 9, 0, 0},
+	OpSyscall: {"syscall", clsR, 0, 12, 0, 0},
+	OpBreak:   {"break", clsR, 0, 13, 0, 0},
+	OpMfhi:    {"mfhi", clsR, 0, 16, 0, 0},
+	OpMthi:    {"mthi", clsR, 0, 17, 0, 0},
+	OpMflo:    {"mflo", clsR, 0, 18, 0, 0},
+	OpMtlo:    {"mtlo", clsR, 0, 19, 0, 0},
+	OpMult:    {"mult", clsR, 0, 24, 0, 0},
+	OpMultu:   {"multu", clsR, 0, 25, 0, 0},
+	OpDiv:     {"div", clsR, 0, 26, 0, 0},
+	OpDivu:    {"divu", clsR, 0, 27, 0, 0},
+	OpAdd:     {"add", clsR, 0, 32, 0, 0},
+	OpAddu:    {"addu", clsR, 0, 33, 0, 0},
+	OpSub:     {"sub", clsR, 0, 34, 0, 0},
+	OpSubu:    {"subu", clsR, 0, 35, 0, 0},
+	OpAnd:     {"and", clsR, 0, 36, 0, 0},
+	OpOr:      {"or", clsR, 0, 37, 0, 0},
+	OpXor:     {"xor", clsR, 0, 38, 0, 0},
+	OpNor:     {"nor", clsR, 0, 39, 0, 0},
+	OpSlt:     {"slt", clsR, 0, 42, 0, 0},
+	OpSltu:    {"sltu", clsR, 0, 43, 0, 0},
+
+	OpBltz:   {"bltz", clsRegimm, 1, 0, 0, 0},
+	OpBgez:   {"bgez", clsRegimm, 1, 0, 0, 1},
+	OpBltzal: {"bltzal", clsRegimm, 1, 0, 0, 16},
+	OpBgezal: {"bgezal", clsRegimm, 1, 0, 0, 17},
+
+	OpJ:   {"j", clsJ, 2, 0, 0, 0},
+	OpJal: {"jal", clsJ, 3, 0, 0, 0},
+
+	OpBeq:   {"beq", clsI, 4, 0, 0, 0},
+	OpBne:   {"bne", clsI, 5, 0, 0, 0},
+	OpBlez:  {"blez", clsI, 6, 0, 0, 0},
+	OpBgtz:  {"bgtz", clsI, 7, 0, 0, 0},
+	OpAddi:  {"addi", clsI, 8, 0, 0, 0},
+	OpAddiu: {"addiu", clsI, 9, 0, 0, 0},
+	OpSlti:  {"slti", clsI, 10, 0, 0, 0},
+	OpSltiu: {"sltiu", clsI, 11, 0, 0, 0},
+	OpAndi:  {"andi", clsIU, 12, 0, 0, 0},
+	OpOri:   {"ori", clsIU, 13, 0, 0, 0},
+	OpXori:  {"xori", clsIU, 14, 0, 0, 0},
+	OpLui:   {"lui", clsIU, 15, 0, 0, 0},
+	OpLb:    {"lb", clsI, 32, 0, 0, 0},
+	OpLh:    {"lh", clsI, 33, 0, 0, 0},
+	OpLw:    {"lw", clsI, 35, 0, 0, 0},
+	OpLbu:   {"lbu", clsI, 36, 0, 0, 0},
+	OpLhu:   {"lhu", clsI, 37, 0, 0, 0},
+	OpSb:    {"sb", clsI, 40, 0, 0, 0},
+	OpSh:    {"sh", clsI, 41, 0, 0, 0},
+	OpSw:    {"sw", clsI, 43, 0, 0, 0},
+	OpLwl:   {"lwl", clsI, 34, 0, 0, 0},
+	OpLwr:   {"lwr", clsI, 38, 0, 0, 0},
+	OpSwl:   {"swl", clsI, 42, 0, 0, 0},
+	OpSwr:   {"swr", clsI, 46, 0, 0, 0},
+	OpLwc1:  {"lwc1", clsI, 49, 0, 0, 0},
+	OpSwc1:  {"swc1", clsI, 57, 0, 0, 0},
+
+	OpMfc1: {"mfc1", clsFMove, 17, 0, 0, 0},
+	OpMtc1: {"mtc1", clsFMove, 17, 0, 0, 4},
+
+	OpAddS: {"add.s", clsFArith, 17, 0, 16, 0},
+	OpAddD: {"add.d", clsFArith, 17, 0, 17, 0},
+	OpSubS: {"sub.s", clsFArith, 17, 1, 16, 0},
+	OpSubD: {"sub.d", clsFArith, 17, 1, 17, 0},
+	OpMulS: {"mul.s", clsFArith, 17, 2, 16, 0},
+	OpMulD: {"mul.d", clsFArith, 17, 2, 17, 0},
+	OpDivS: {"div.s", clsFArith, 17, 3, 16, 0},
+	OpDivD: {"div.d", clsFArith, 17, 3, 17, 0},
+	OpAbsS: {"abs.s", clsFArith, 17, 5, 16, 0},
+	OpAbsD: {"abs.d", clsFArith, 17, 5, 17, 0},
+	OpMovS: {"mov.s", clsFArith, 17, 6, 16, 0},
+	OpMovD: {"mov.d", clsFArith, 17, 6, 17, 0},
+	OpNegS: {"neg.s", clsFArith, 17, 7, 16, 0},
+	OpNegD: {"neg.d", clsFArith, 17, 7, 17, 0},
+
+	OpCvtSW: {"cvt.s.w", clsFArith, 17, 32, 20, 0},
+	OpCvtDW: {"cvt.d.w", clsFArith, 17, 33, 20, 0},
+	OpCvtSD: {"cvt.s.d", clsFArith, 17, 32, 17, 0},
+	OpCvtDS: {"cvt.d.s", clsFArith, 17, 33, 16, 0},
+	OpCvtWS: {"cvt.w.s", clsFArith, 17, 36, 16, 0},
+	OpCvtWD: {"cvt.w.d", clsFArith, 17, 36, 17, 0},
+
+	OpCEqS: {"c.eq.s", clsFArith, 17, 50, 16, 0},
+	OpCEqD: {"c.eq.d", clsFArith, 17, 50, 17, 0},
+	OpCLtS: {"c.lt.s", clsFArith, 17, 60, 16, 0},
+	OpCLtD: {"c.lt.d", clsFArith, 17, 60, 17, 0},
+	OpCLeS: {"c.le.s", clsFArith, 17, 62, 16, 0},
+	OpCLeD: {"c.le.d", clsFArith, 17, 62, 17, 0},
+
+	OpBc1f: {"bc1f", clsFBC, 17, 0, 0, 0},
+	OpBc1t: {"bc1t", clsFBC, 17, 0, 0, 1},
+}
+
+// Name returns the assembler mnemonic.
+func (o Op) Name() string {
+	if o < numOps && opTable[o].name != "" {
+		return opTable[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Encode returns the 32-bit machine word for the instruction.
+func Encode(i Instr) (uint32, error) {
+	if i.Op >= numOps || opTable[i.Op].name == "" {
+		return 0, fmt.Errorf("mips: cannot encode %v", i.Op)
+	}
+	info := opTable[i.Op]
+	rs, rt, rd, sa := uint32(i.Rs), uint32(i.Rt), uint32(i.Rd), uint32(i.Sa)
+	switch info.class {
+	case clsR:
+		return rs<<21 | rt<<16 | rd<<11 | sa<<6 | info.funct, nil
+	case clsRegimm:
+		return 1<<26 | rs<<21 | info.sel<<16 | uint32(i.Imm)&0xffff, nil
+	case clsJ:
+		return info.op<<26 | (i.Target >> 2 & 0x03ff_ffff), nil
+	case clsI, clsIU:
+		return info.op<<26 | rs<<21 | rt<<16 | uint32(i.Imm)&0xffff, nil
+	case clsFArith:
+		// ft = Rt, fs = Rd, fd = Sa.
+		return 17<<26 | info.fmt<<21 | rt<<16 | rd<<11 | sa<<6 | info.funct, nil
+	case clsFMove:
+		// rt = integer register, fs = Rd.
+		return 17<<26 | info.sel<<21 | rt<<16 | rd<<11, nil
+	case clsFBC:
+		return 17<<26 | 8<<21 | info.sel<<16 | uint32(i.Imm)&0xffff, nil
+	}
+	return 0, fmt.Errorf("mips: unknown class for %s", info.name)
+}
+
+// signExtend16 widens the low 16 bits of w as a signed value.
+func signExtend16(w uint32) int32 { return int32(int16(w & 0xffff)) }
+
+// Decode parses a 32-bit machine word.
+func Decode(w uint32) (Instr, error) {
+	op := w >> 26
+	rs := uint8(w >> 21 & 31)
+	rt := uint8(w >> 16 & 31)
+	rd := uint8(w >> 11 & 31)
+	sa := uint8(w >> 6 & 31)
+	funct := w & 63
+	switch op {
+	case 0:
+		o, ok := rFunct[funct]
+		if !ok {
+			return Instr{}, fmt.Errorf("mips: bad R funct %d in %#08x", funct, w)
+		}
+		return Instr{Op: o, Rs: rs, Rt: rt, Rd: rd, Sa: sa}, nil
+	case 1:
+		switch rt {
+		case 0:
+			return Instr{Op: OpBltz, Rs: rs, Imm: signExtend16(w)}, nil
+		case 1:
+			return Instr{Op: OpBgez, Rs: rs, Imm: signExtend16(w)}, nil
+		case 16:
+			return Instr{Op: OpBltzal, Rs: rs, Imm: signExtend16(w)}, nil
+		case 17:
+			return Instr{Op: OpBgezal, Rs: rs, Imm: signExtend16(w)}, nil
+		}
+		return Instr{}, fmt.Errorf("mips: bad regimm rt %d in %#08x", rt, w)
+	case 2, 3:
+		o := OpJ
+		if op == 3 {
+			o = OpJal
+		}
+		return Instr{Op: o, Target: (w & 0x03ff_ffff) << 2}, nil
+	case 17:
+		return decodeCop1(w, rs, rt, rd, sa, funct)
+	}
+	o, ok := iOpcode[op]
+	if !ok {
+		return Instr{}, fmt.Errorf("mips: bad opcode %d in %#08x", op, w)
+	}
+	imm := signExtend16(w)
+	if cls := opTable[o].class; cls == clsIU {
+		imm = int32(w & 0xffff)
+	}
+	return Instr{Op: o, Rs: rs, Rt: rt, Imm: imm}, nil
+}
+
+func decodeCop1(w uint32, rs, rt, rd, sa uint8, funct uint32) (Instr, error) {
+	switch rs {
+	case 0:
+		return Instr{Op: OpMfc1, Rt: rt, Rd: rd}, nil
+	case 4:
+		return Instr{Op: OpMtc1, Rt: rt, Rd: rd}, nil
+	case 8:
+		o := OpBc1f
+		if rt&1 == 1 {
+			o = OpBc1t
+		}
+		return Instr{Op: o, Imm: signExtend16(w)}, nil
+	case 16, 17, 20:
+		key := cop1Key{fmt: uint32(rs), funct: funct}
+		o, ok := fArith[key]
+		if !ok {
+			return Instr{}, fmt.Errorf("mips: bad cop1 fmt %d funct %d in %#08x", rs, funct, w)
+		}
+		return Instr{Op: o, Rt: rt, Rd: rd, Sa: sa}, nil
+	}
+	return Instr{}, fmt.Errorf("mips: bad cop1 rs %d in %#08x", rs, w)
+}
+
+type cop1Key struct{ fmt, funct uint32 }
+
+// Reverse lookup tables, built from opTable at init.
+var (
+	rFunct  = map[uint32]Op{}
+	iOpcode = map[uint32]Op{}
+	fArith  = map[cop1Key]Op{}
+)
+
+func init() {
+	for o := Op(1); o < numOps; o++ {
+		info := opTable[o]
+		if info.name == "" {
+			continue
+		}
+		switch info.class {
+		case clsR:
+			rFunct[info.funct] = o
+		case clsI, clsIU:
+			iOpcode[info.op] = o
+		case clsFArith:
+			fArith[cop1Key{fmt: info.fmt, funct: info.funct}] = o
+		}
+	}
+}
+
+// Nop is the canonical no-operation encoding (sll $0, $0, 0).
+const Nop uint32 = 0
+
+// IsLoad reports whether the operation reads data memory.
+func (o Op) IsLoad() bool {
+	switch o {
+	case OpLb, OpLh, OpLw, OpLbu, OpLhu, OpLwl, OpLwr, OpLwc1:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the operation writes data memory.
+func (o Op) IsStore() bool {
+	switch o {
+	case OpSb, OpSh, OpSw, OpSwl, OpSwr, OpSwc1:
+		return true
+	}
+	return false
+}
+
+// AccessBytes returns the width of the operation's data access.
+func (o Op) AccessBytes() uint8 {
+	switch o {
+	case OpLb, OpLbu, OpSb:
+		return 1
+	case OpLh, OpLhu, OpSh:
+		return 2
+	case OpLw, OpSw, OpLwc1, OpSwc1:
+		return 4
+	case OpLwl, OpLwr, OpSwl, OpSwr:
+		return 4 // up to a word; the emulator reports the exact width
+	}
+	return 0
+}

@@ -1,0 +1,186 @@
+package mips
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKnownEncodings(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want uint32
+	}{
+		// addu $t0, $t1, $t2
+		{Instr{Op: OpAddu, Rd: 8, Rs: 9, Rt: 10}, 0x012a4021},
+		// lw $t0, 4($sp)
+		{Instr{Op: OpLw, Rt: 8, Rs: 29, Imm: 4}, 0x8fa80004},
+		// sw $t0, -4($sp)
+		{Instr{Op: OpSw, Rt: 8, Rs: 29, Imm: -4}, 0xafa8fffc},
+		// sll $t0, $t1, 4
+		{Instr{Op: OpSll, Rd: 8, Rt: 9, Sa: 4}, 0x00094100},
+		// jal 0x00400000
+		{Instr{Op: OpJal, Target: 0x0040_0000}, 0x0c100000},
+		// beq $a0, $zero, +3
+		{Instr{Op: OpBeq, Rs: 4, Imm: 3}, 0x10800003},
+		// ori $v0, $zero, 10
+		{Instr{Op: OpOri, Rt: 2, Imm: 10}, 0x3402000a},
+		// syscall
+		{Instr{Op: OpSyscall}, 0x0000000c},
+		// nop == sll $0,$0,0
+		{Instr{Op: OpSll}, 0x00000000},
+		// add.d $f4, $f2, $f0 -> fd=4 fs=2 ft=0 fmt=17
+		{Instr{Op: OpAddD, Sa: 4, Rd: 2, Rt: 0}, 0x46201100},
+	}
+	for _, tt := range tests {
+		got, err := Encode(tt.in)
+		if err != nil {
+			t.Errorf("Encode(%s): %v", tt.in.Op.Name(), err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Encode(%s) = %#08x, want %#08x", tt.in.Op.Name(), got, tt.want)
+		}
+		back, err := Decode(tt.want)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", tt.want, err)
+			continue
+		}
+		if back != tt.in {
+			t.Errorf("Decode(%#08x) = %+v, want %+v", tt.want, back, tt.in)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := []uint32{
+		0x0000003f,     // R funct 63
+		0x7c000000,     // opcode 31
+		0x04a20000,     // regimm rt=2
+		0x47e00000,     // cop1 rs=31
+		0x46bf0000 | 9, // cop1 bad funct
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) accepted garbage", w)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidOp(t *testing.T) {
+	if _, err := Encode(Instr{Op: OpInvalid}); err == nil {
+		t.Fatal("Encode accepted OpInvalid")
+	}
+	if _, err := Encode(Instr{Op: numOps}); err == nil {
+		t.Fatal("Encode accepted out-of-range op")
+	}
+}
+
+// randomCanonical builds a random instruction whose unused fields are
+// zero, so decode(encode(i)) == i must hold exactly.
+func randomCanonical(r *rand.Rand) Instr {
+	for {
+		op := Op(1 + r.Intn(int(numOps)-1))
+		info := opTable[op]
+		if info.name == "" {
+			continue
+		}
+		var in Instr
+		in.Op = op
+		reg := func() uint8 { return uint8(r.Intn(32)) }
+		switch info.class {
+		case clsR:
+			switch op {
+			case OpSll, OpSrl, OpSra:
+				in.Rt, in.Rd, in.Sa = reg(), reg(), uint8(r.Intn(32))
+			case OpJr, OpMthi, OpMtlo:
+				in.Rs = reg()
+			case OpJalr:
+				// The assembler's jalr form always links through $ra.
+				in.Rs, in.Rd = reg(), 31
+			case OpMfhi, OpMflo:
+				in.Rd = reg()
+			case OpSyscall, OpBreak:
+			case OpMult, OpMultu, OpDiv, OpDivu:
+				in.Rs, in.Rt = reg(), reg()
+			default:
+				in.Rs, in.Rt, in.Rd = reg(), reg(), reg()
+			}
+		case clsRegimm:
+			in.Rs = reg()
+			in.Imm = int32(int16(r.Uint32()))
+		case clsJ:
+			in.Target = r.Uint32() & 0x03ff_fffc
+		case clsI:
+			in.Rs, in.Rt = reg(), reg()
+			if op == OpBlez || op == OpBgtz {
+				in.Rt = 0 // architecturally zero for these branches
+			}
+			in.Imm = int32(int16(r.Uint32()))
+		case clsIU:
+			in.Rs, in.Rt = reg(), reg()
+			if op == OpLui {
+				in.Rs = 0
+			}
+			in.Imm = int32(r.Uint32() & 0xffff)
+		case clsFArith:
+			in.Rt, in.Rd, in.Sa = reg(), reg(), reg()
+			switch op {
+			case OpAbsS, OpAbsD, OpMovS, OpMovD, OpNegS, OpNegD,
+				OpCvtSW, OpCvtDW, OpCvtSD, OpCvtDS, OpCvtWS, OpCvtWD:
+				in.Rt = 0
+			case OpCEqS, OpCEqD, OpCLtS, OpCLtD, OpCLeS, OpCLeD:
+				in.Sa = 0
+			}
+		case clsFMove:
+			in.Rt, in.Rd = reg(), reg()
+		case clsFBC:
+			in.Imm = int32(int16(r.Uint32()))
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := randomCanonical(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %s: %v", w, in.Op.Name(), err)
+		}
+		if back != in {
+			t.Fatalf("round trip %s: %+v -> %#08x -> %+v", in.Op.Name(), in, w, back)
+		}
+	}
+}
+
+func TestOpClassifiers(t *testing.T) {
+	if !OpLw.IsLoad() || OpLw.IsStore() || OpLw.AccessBytes() != 4 {
+		t.Error("lw misclassified")
+	}
+	if !OpSb.IsStore() || OpSb.IsLoad() || OpSb.AccessBytes() != 1 {
+		t.Error("sb misclassified")
+	}
+	if OpAddu.IsLoad() || OpAddu.IsStore() || OpAddu.AccessBytes() != 0 {
+		t.Error("addu misclassified")
+	}
+	if !OpLwc1.IsLoad() || !OpSwc1.IsStore() {
+		t.Error("FP memory ops misclassified")
+	}
+	if OpLh.AccessBytes() != 2 || OpSh.AccessBytes() != 2 {
+		t.Error("halfword sizes wrong")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpAddu.Name() != "addu" || OpCLtD.Name() != "c.lt.d" {
+		t.Error("op names wrong")
+	}
+	if OpInvalid.Name() == "" || Op(200).Name() == "" {
+		t.Error("invalid ops must still have a printable name")
+	}
+}

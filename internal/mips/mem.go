@@ -1,0 +1,114 @@
+package mips
+
+import "encoding/binary"
+
+// Memory is a sparse little-endian byte-addressed memory, allocated in
+// 64 KB chunks on first touch. The zero value is ready to use.
+type Memory struct {
+	chunks map[uint32]*[chunkBytes]byte
+}
+
+const (
+	chunkShift = 16
+	chunkBytes = 1 << chunkShift
+	chunkMask  = chunkBytes - 1
+)
+
+func (m *Memory) chunk(addr uint32) *[chunkBytes]byte {
+	if m.chunks == nil {
+		m.chunks = make(map[uint32]*[chunkBytes]byte)
+	}
+	key := addr >> chunkShift
+	c := m.chunks[key]
+	if c == nil {
+		c = new([chunkBytes]byte)
+		m.chunks[key] = c
+	}
+	return c
+}
+
+// Byte returns the byte at addr.
+func (m *Memory) Byte(addr uint32) byte {
+	return m.chunk(addr)[addr&chunkMask]
+}
+
+// SetByte writes the byte at addr.
+func (m *Memory) SetByte(addr uint32, v byte) {
+	m.chunk(addr)[addr&chunkMask] = v
+}
+
+// Half returns the little-endian halfword at addr (must be 2-aligned).
+func (m *Memory) Half(addr uint32) uint16 {
+	c := m.chunk(addr)
+	off := addr & chunkMask
+	if off+2 <= chunkBytes {
+		return binary.LittleEndian.Uint16(c[off : off+2])
+	}
+	return uint16(m.Byte(addr)) | uint16(m.Byte(addr+1))<<8
+}
+
+// SetHalf writes the little-endian halfword at addr.
+func (m *Memory) SetHalf(addr uint32, v uint16) {
+	c := m.chunk(addr)
+	off := addr & chunkMask
+	if off+2 <= chunkBytes {
+		binary.LittleEndian.PutUint16(c[off:off+2], v)
+		return
+	}
+	m.SetByte(addr, byte(v))
+	m.SetByte(addr+1, byte(v>>8))
+}
+
+// Word returns the little-endian word at addr (must be 4-aligned).
+func (m *Memory) Word(addr uint32) uint32 {
+	c := m.chunk(addr)
+	off := addr & chunkMask
+	if off+4 <= chunkBytes {
+		return binary.LittleEndian.Uint32(c[off : off+4])
+	}
+	return uint32(m.Half(addr)) | uint32(m.Half(addr+2))<<16
+}
+
+// SetWord writes the little-endian word at addr.
+func (m *Memory) SetWord(addr uint32, v uint32) {
+	c := m.chunk(addr)
+	off := addr & chunkMask
+	if off+4 <= chunkBytes {
+		binary.LittleEndian.PutUint32(c[off:off+4], v)
+		return
+	}
+	m.SetHalf(addr, uint16(v))
+	m.SetHalf(addr+2, uint16(v>>16))
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.SetByte(addr+uint32(i), v)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Byte(addr + uint32(i))
+	}
+	return out
+}
+
+// CString reads a NUL-terminated string at addr (capped at 64 KB).
+func (m *Memory) CString(addr uint32) string {
+	var out []byte
+	for i := 0; i < chunkBytes; i++ {
+		b := m.Byte(addr + uint32(i))
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// Footprint returns the number of bytes of memory actually allocated.
+func (m *Memory) Footprint() int { return len(m.chunks) * chunkBytes }

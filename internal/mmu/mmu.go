@@ -1,0 +1,182 @@
+// Package mmu models the memory management unit of the GaAs
+// microprocessor study: per-process (PID-prefixed) virtual address
+// spaces, virtual-to-physical translation with page coloring, and the
+// split two-way set-associative TLB that lives on the MMU chip.
+//
+// The target machine has 4 KW (16 KB) pages. Because the operating
+// system allocates physical frames with page coloring, the physical page
+// number of every frame agrees with its virtual page number modulo the
+// number of colors. That preserves the cache-index bits across
+// translation, which is what lets the direct-mapped primary caches be
+// indexed with untranslated bits while using physical tags.
+package mmu
+
+import "fmt"
+
+const (
+	// PageShift is log2 of the page size: 4 KW = 16 KB pages.
+	PageShift = 14
+	// PageBytes is the page size in bytes.
+	PageBytes = 1 << PageShift
+	// OffsetMask extracts the page offset from an address.
+	OffsetMask = PageBytes - 1
+)
+
+// Coloring selects the frame-allocation policy.
+type Coloring int
+
+const (
+	// ColoringStaggered is the default: within one address space the
+	// color advances one per virtual page (preserving the TLB-slice
+	// invariant), and each process starts at a staggered color so
+	// identical images do not collide in physically indexed caches.
+	ColoringStaggered Coloring = iota
+	// ColoringStrict binds color = vpn mod colors with no per-process
+	// stagger, the literal reading of the page-coloring rule. Identical
+	// process images then contend for the same cache sets.
+	ColoringStrict
+	// ColoringRandom scatters frames pseudo-randomly, modeling an
+	// allocator with no coloring at all; cache indices are then
+	// unpredictable from virtual addresses.
+	ColoringRandom
+)
+
+// String names the policy.
+func (c Coloring) String() string {
+	switch c {
+	case ColoringStaggered:
+		return "staggered"
+	case ColoringStrict:
+		return "strict"
+	case ColoringRandom:
+		return "random"
+	}
+	return fmt.Sprintf("Coloring(%d)", int(c))
+}
+
+// PID identifies a process address space. The paper's architecture
+// prefixes virtual addresses with an 8-bit PID so caches and the TLB
+// need not be flushed on context switches.
+type PID uint8
+
+// MMU translates PID-prefixed virtual addresses to physical addresses.
+// Frames are assigned on first touch using page coloring. The zero value
+// is not ready to use; call New.
+type MMU struct {
+	colors   uint32
+	coloring Coloring
+	pages    map[uint64]uint32 // pid<<32|vpn -> pfn
+	nextFree []uint32          // per color, next frame index to hand out
+	itlb     *TLB
+	dtlb     *TLB
+}
+
+// Config parameterizes an MMU.
+type Config struct {
+	// Colors is the number of page colors the operating system
+	// maintains. It should be at least cacheBytes/PageBytes for the
+	// largest physically indexed direct-mapped cache in the system so
+	// translation preserves that cache's index bits. Zero means 64
+	// (256 KW L2 / 4 KW pages), the base architecture's requirement.
+	Colors uint32
+	// Coloring selects the frame-allocation policy (default
+	// ColoringStaggered).
+	Coloring Coloring
+	// ITLBEntries and DTLBEntries size the two-way set-associative
+	// split TLB. Zero means the paper's 32-entry instruction and
+	// 64-entry data TLBs.
+	ITLBEntries int
+	DTLBEntries int
+}
+
+// New returns an MMU with the given configuration.
+func New(cfg Config) *MMU {
+	if cfg.Colors == 0 {
+		cfg.Colors = 64
+	}
+	if cfg.ITLBEntries == 0 {
+		cfg.ITLBEntries = 32
+	}
+	if cfg.DTLBEntries == 0 {
+		cfg.DTLBEntries = 64
+	}
+	return &MMU{
+		colors:   cfg.Colors,
+		coloring: cfg.Coloring,
+		pages:    make(map[uint64]uint32),
+		nextFree: make([]uint32, cfg.Colors),
+		itlb:     NewTLB(cfg.ITLBEntries, 2),
+		dtlb:     NewTLB(cfg.DTLBEntries, 2),
+	}
+}
+
+// Colors returns the number of page colors in use.
+func (m *MMU) Colors() uint32 { return m.colors }
+
+// ITLB returns the instruction TLB.
+func (m *MMU) ITLB() *TLB { return m.itlb }
+
+// DTLB returns the data TLB.
+func (m *MMU) DTLB() *TLB { return m.dtlb }
+
+// pidColorStride staggers the color assignment across address spaces.
+// Within one process, pages keep the page-coloring invariant the TLB
+// slice needs — the color advances by one per virtual page — but
+// different processes start at different colors, so identically laid
+// out processes do not pile onto the same cache sets (real kernels
+// stagger their color search the same way; without it, a
+// multiprogrammed workload of same-image processes would thrash any
+// physically indexed cache pathologically).
+const pidColorStride = 13
+
+// frameFor returns the physical frame number for (pid, vpn), assigning
+// one with the process's staggered color on first touch.
+func (m *MMU) frameFor(pid PID, vpn uint32) uint32 {
+	key := uint64(pid)<<32 | uint64(vpn)
+	if pfn, ok := m.pages[key]; ok {
+		return pfn
+	}
+	var color uint32
+	switch m.coloring {
+	case ColoringStrict:
+		color = vpn % m.colors
+	case ColoringRandom:
+		h := (uint64(pid)<<32 | uint64(vpn)) * 0x9e3779b97f4a7c15
+		color = uint32(h>>40) % m.colors
+	default:
+		color = (vpn + uint32(pid)*pidColorStride) % m.colors
+	}
+	pfn := m.nextFree[color]*m.colors + color
+	m.nextFree[color]++
+	m.pages[key] = pfn
+	return pfn
+}
+
+// TranslateI translates an instruction-fetch address and reports whether
+// the access hit in the instruction TLB.
+func (m *MMU) TranslateI(pid PID, vaddr uint32) (paddr uint64, tlbHit bool) {
+	return m.translate(m.itlb, pid, vaddr)
+}
+
+// TranslateD translates a data access address and reports whether the
+// access hit in the data TLB.
+func (m *MMU) TranslateD(pid PID, vaddr uint32) (paddr uint64, tlbHit bool) {
+	return m.translate(m.dtlb, pid, vaddr)
+}
+
+func (m *MMU) translate(tlb *TLB, pid PID, vaddr uint32) (uint64, bool) {
+	vpn := vaddr >> PageShift
+	hit := tlb.Access(pid, vpn)
+	pfn := m.frameFor(pid, vpn)
+	return uint64(pfn)<<PageShift | uint64(vaddr&OffsetMask), hit
+}
+
+// MappedPages returns the number of virtual pages currently mapped
+// across all address spaces.
+func (m *MMU) MappedPages() int { return len(m.pages) }
+
+// String summarizes the MMU state.
+func (m *MMU) String() string {
+	return fmt.Sprintf("mmu: %d colors, %d mapped pages, itlb %v, dtlb %v",
+		m.colors, len(m.pages), m.itlb.Stats(), m.dtlb.Stats())
+}

@@ -1,0 +1,68 @@
+package progs
+
+import "fmt"
+
+// Ack is a control-flow benchmark: doubly recursive Fibonacci, all
+// calls, returns, stack traffic and data-dependent branches.
+func Ack() Benchmark {
+	return Benchmark{
+		Name:        "ack",
+		Class:       Integer,
+		Description: "doubly recursive fib(22): call/return and stack-frame traffic",
+		Source:      ackSource,
+	}
+}
+
+const ackFibN = 22
+
+// AckChecksum returns fib(ackFibN), the value printed each round.
+func AckChecksum() int32 {
+	var fib func(n int32) int32
+	fib = func(n int32) int32 {
+		if n < 2 {
+			return n
+		}
+		return fib(n-1) + fib(n-2)
+	}
+	return fib(ackFibN)
+}
+
+func ackSource(scale int) string {
+	return fmt.Sprintf(`
+# ack: fib(%d) by double recursion, repeated per scale.
+	.text
+main:	li $s6, %d		# rounds remaining
+round:	li $a0, %d
+	jal fib
+	move $a0, $v0
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+
+fib:	slti $t0, $a0, 2
+	beqz $t0, fibrec
+	move $v0, $a0
+	jr $ra
+fibrec:	addi $sp, $sp, -12
+	sw $ra, 0($sp)
+	sw $a0, 4($sp)
+	addi $a0, $a0, -1
+	jal fib
+	sw $v0, 8($sp)
+	lw $a0, 4($sp)
+	addi $a0, $a0, -2
+	jal fib
+	lw $t0, 8($sp)
+	add $v0, $v0, $t0
+	lw $ra, 0($sp)
+	addi $sp, $sp, 12
+	jr $ra
+`, ackFibN, scale, ackFibN)
+}

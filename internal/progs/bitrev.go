@@ -1,0 +1,119 @@
+package progs
+
+import "fmt"
+
+// Bitrev performs the bit-reversal permutation of FFT input staging
+// followed by a prefix-mixing sweep: power-of-two strided exchanges
+// with bit manipulation, a pattern notoriously hostile to
+// direct-mapped caches.
+func Bitrev() Benchmark {
+	return Benchmark{
+		Name:        "bitrev",
+		Class:       Integer,
+		Description: "bit-reversal permutation + prefix mix over 16 K words",
+		Source:      bitrevSource,
+	}
+}
+
+const (
+	bitrevN    = 16384 // 2^14 words
+	bitrevBits = 14
+)
+
+// BitrevChecksum mirrors the benchmark for the given round (counting
+// down from scale like the others) and returns the probe value
+// a[7] it prints.
+func BitrevChecksum(round int) int32 {
+	a := make([]int32, bitrevN)
+	for i := range a {
+		a[i] = int32(i) + int32(round)
+	}
+	// Bit-reversal permutation (swap once per pair).
+	for i := 0; i < bitrevN; i++ {
+		r := 0
+		v := i
+		for b := 0; b < bitrevBits; b++ {
+			r = r<<1 | v&1
+			v >>= 1
+		}
+		if r > i {
+			a[i], a[r] = a[r], a[i]
+		}
+	}
+	// Prefix mix.
+	for i := 1; i < bitrevN; i++ {
+		a[i] += a[i-1]
+	}
+	return a[7]
+}
+
+func bitrevSource(scale int) string {
+	return fmt.Sprintf(`
+# bitrev: reverse the %d-bit index of every element, then prefix-mix.
+	.data
+arr:	.space %d
+	.text
+main:	li $s7, %d		# N
+	li $s6, %d		# rounds remaining
+round:
+	# a[i] = i + round
+	la $t0, arr
+	li $t1, 0
+init:	add $t2, $t1, $s6
+	sw $t2, 0($t0)
+	addi $t0, $t0, 4
+	addi $t1, $t1, 1
+	blt $t1, $s7, init
+
+	# permute
+	li $s0, 0		# i
+perm:	li $t0, 0		# r
+	move $t1, $s0		# v
+	li $t2, %d		# bits
+rev:	sll $t0, $t0, 1
+	andi $t3, $t1, 1
+	or $t0, $t0, $t3
+	srl $t1, $t1, 1
+	addi $t2, $t2, -1
+	bgtz $t2, rev
+	ble $t0, $s0, noswap
+	# swap a[i], a[r]
+	la $t4, arr
+	sll $t5, $s0, 2
+	add $t5, $t4, $t5
+	sll $t6, $t0, 2
+	add $t6, $t4, $t6
+	lw $t7, 0($t5)
+	lw $t8, 0($t6)
+	sw $t8, 0($t5)
+	sw $t7, 0($t6)
+noswap:	addi $s0, $s0, 1
+	blt $s0, $s7, perm
+
+	# prefix mix
+	la $t0, arr
+	addi $t1, $t0, 4
+	sll $t2, $s7, 2
+	add $t2, $t0, $t2
+mix:	lw $t3, -4($t1)
+	lw $t4, 0($t1)
+	add $t4, $t4, $t3
+	sw $t4, 0($t1)
+	addi $t1, $t1, 4
+	blt $t1, $t2, mix
+
+	# probe a[7]
+	lw $a0, arr+28
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, bitrevBits, bitrevN*4, bitrevN, scale, bitrevBits)
+}

@@ -1,0 +1,155 @@
+package progs
+
+import "fmt"
+
+// Conv applies a 3x3 single-precision convolution to an image: the
+// row-buffered FP streaming of signal-processing codes.
+func Conv() Benchmark {
+	return Benchmark{
+		Name:        "conv",
+		Class:       Single,
+		Description: "3x3 convolution over a 96x96 single-precision image, 2 passes",
+		Source:      convSource,
+	}
+}
+
+const (
+	convG      = 96
+	convPasses = 2
+)
+
+// ConvChecksum mirrors the benchmark in float32, operation for
+// operation, and returns int(1000 * out[G/2][G/2]) after the passes.
+func ConvChecksum() int32 {
+	g := convG
+	in := make([]float32, g*g)
+	out := make([]float32, g*g)
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			in[i*g+j] = float32((i*3+j*7)%17) * 0.25
+		}
+	}
+	// Kernel: center 0.5, edges 0.125, corners 0 — applied in the
+	// benchmark's accumulation order (N, W, C, E, S).
+	for p := 0; p < convPasses; p++ {
+		for i := 1; i < g-1; i++ {
+			for j := 1; j < g-1; j++ {
+				acc := float32(0.125) * in[(i-1)*g+j]
+				acc += float32(0.125) * in[i*g+j-1]
+				acc += float32(0.5) * in[i*g+j]
+				acc += float32(0.125) * in[i*g+j+1]
+				acc += float32(0.125) * in[(i+1)*g+j]
+				out[i*g+j] = acc
+			}
+		}
+		in, out = out, in
+	}
+	return int32(float32(1000) * in[(g/2)*g+g/2])
+}
+
+func convSource(scale int) string {
+	g := convG
+	return fmt.Sprintf(`
+# conv: 3x3 kernel over a %dx%d float image, double buffered.
+	.data
+eighth:	.float 0.125
+half:	.float 0.5
+quart:	.float 0.25
+kilo:	.float 1000.0
+IMG:	.space %d
+	.space 4096		# de-conflict the two buffers in L1
+OUT:	.space %d
+	.text
+main:	li $s6, %d		# rounds remaining
+	li $s7, %d		# G
+round:
+	l.s $f20, eighth
+	l.s $f22, half
+	l.s $f24, quart
+	l.s $f26, kilo
+
+	# in[i][j] = ((i*3 + j*7) %% 17) * 0.25
+	li $s0, 0
+ii:	li $s1, 0
+ij:	li $t0, 3
+	mul $t0, $s0, $t0
+	li $t1, 7
+	mul $t1, $s1, $t1
+	add $t0, $t0, $t1
+	li $t1, 17
+	rem $t0, $t0, $t1
+	mtc1 $t0, $f0
+	cvt.s.w $f2, $f0
+	mul.s $f2, $f2, $f24
+	mul $t0, $s0, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 2
+	la $t1, IMG
+	add $t1, $t1, $t0
+	s.s $f2, 0($t1)
+	addi $s1, $s1, 1
+	blt $s1, $s7, ij
+	addi $s0, $s0, 1
+	blt $s0, $s7, ii
+
+	la $s4, IMG		# in
+	la $s5, OUT		# out
+	li $s3, %d		# passes
+pass:	li $s0, 1
+pi:	li $s1, 1
+pj:	mul $t0, $s0, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 2		# center offset
+	add $t1, $s4, $t0
+	sll $t3, $s7, 2		# row bytes
+	sub $t2, $t1, $t3
+	l.s $f0, 0($t2)		# north
+	mul.s $f4, $f20, $f0
+	l.s $f0, -4($t1)	# west
+	mul.s $f2, $f20, $f0
+	add.s $f4, $f4, $f2
+	l.s $f0, 0($t1)		# center
+	mul.s $f2, $f22, $f0
+	add.s $f4, $f4, $f2
+	l.s $f0, 4($t1)		# east
+	mul.s $f2, $f20, $f0
+	add.s $f4, $f4, $f2
+	add $t2, $t1, $t3
+	l.s $f0, 0($t2)		# south
+	mul.s $f2, $f20, $f0
+	add.s $f4, $f4, $f2
+	add $t2, $s5, $t0
+	s.s $f4, 0($t2)
+	addi $s1, $s1, 1
+	addi $t4, $s7, -1
+	blt $s1, $t4, pj
+	addi $s0, $s0, 1
+	addi $t4, $s7, -1
+	blt $s0, $t4, pi
+	# swap buffers
+	move $t0, $s4
+	move $s4, $s5
+	move $s5, $t0
+	addi $s3, $s3, -1
+	bgtz $s3, pass
+
+	# print int(1000 * in[G/2][G/2])
+	li $t0, %d
+	add $t1, $s4, $t0
+	l.s $f0, 0($t1)
+	mul.s $f0, $f26, $f0
+	cvt.w.s $f2, $f0
+	mfc1 $a0, $f2
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, g, g, g*g*4, g*g*4, scale, g, convPasses, ((g/2)*g+g/2)*4)
+}

@@ -1,0 +1,106 @@
+package progs
+
+import "fmt"
+
+// Daxpy is the BLAS-1 kernel pair (y = a*x + y, then a dot product)
+// over long double-precision vectors: unit-stride FP streaming, the
+// heart of nasa7-style workloads.
+func Daxpy() Benchmark {
+	return Benchmark{
+		Name:        "daxpy",
+		Class:       Double,
+		Description: "daxpy + dot product over 16 K-element double vectors",
+		Source:      daxpySource,
+	}
+}
+
+const (
+	daxpyN      = 16384
+	daxpyPasses = 2
+)
+
+// DaxpyChecksum returns int(dot) printed each round: x=1, y=2, two
+// passes of y += 0.5*x leave y=3, so dot = 3N (exact).
+func DaxpyChecksum() int32 {
+	x, y := 1.0, 2.0
+	for p := 0; p < daxpyPasses; p++ {
+		y += 0.5 * x
+	}
+	return int32(float64(daxpyN) * x * y)
+}
+
+func daxpySource(scale int) string {
+	return fmt.Sprintf(`
+# daxpy: y = 0.5*x + y twice, then dot = sum x[i]*y[i]. Per-round reinit.
+	.data
+half:	.double 0.5
+one:	.double 1.0
+two:	.double 2.0
+X:	.space %d
+	.space 4096		# keep the x and y streams in different L1 sets
+Y:	.space %d
+	.text
+main:	li $s6, %d		# rounds remaining
+	li $s7, %d		# N
+round:
+	l.d $f20, half
+	l.d $f22, one
+	l.d $f24, two
+
+	# init x = 1.0, y = 2.0
+	la $s0, X
+	la $s1, Y
+	li $s2, 0
+init:	s.d $f22, 0($s0)
+	s.d $f24, 0($s1)
+	addi $s0, $s0, 8
+	addi $s1, $s1, 8
+	addi $s2, $s2, 1
+	blt $s2, $s7, init
+
+	li $s3, %d		# passes
+pass:	la $s0, X
+	la $s1, Y
+	li $s2, 0
+axpy:	l.d $f0, 0($s0)
+	l.d $f2, 0($s1)
+	mul.d $f4, $f20, $f0
+	add.d $f2, $f2, $f4
+	s.d $f2, 0($s1)
+	addi $s0, $s0, 8
+	addi $s1, $s1, 8
+	addi $s2, $s2, 1
+	blt $s2, $s7, axpy
+	addi $s3, $s3, -1
+	bgtz $s3, pass
+
+	# dot product
+	mtc1 $zero, $f6
+	mtc1 $zero, $f7
+	la $s0, X
+	la $s1, Y
+	li $s2, 0
+dot:	l.d $f0, 0($s0)
+	l.d $f2, 0($s1)
+	mul.d $f4, $f0, $f2
+	add.d $f6, $f6, $f4
+	addi $s0, $s0, 8
+	addi $s1, $s1, 8
+	addi $s2, $s2, 1
+	blt $s2, $s7, dot
+
+	cvt.w.d $f0, $f6
+	mfc1 $a0, $f0
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, daxpyN*8, daxpyN*8, scale, daxpyN, daxpyPasses)
+}

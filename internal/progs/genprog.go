@@ -1,0 +1,196 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The program generator emits large synthetic MIPS programs: hundreds
+// of generated functions in a call tree, each doing deterministic
+// arithmetic and arena loads/stores. Unlike the statistical generator
+// (internal/synth), these run through the real emulator, so their
+// instruction streams have genuine call/return structure and a large
+// instruction footprint — the property of compiled programs (compilers,
+// simulators) that the hand-written kernels lack and that the L2
+// split/unified experiments are sensitive to.
+//
+// Everything derives from genSpec, so the printed checksum is computed
+// by interpreting the same spec in Go.
+
+// genSpec parameterizes a generated program.
+type genSpec struct {
+	Funcs      int    // number of generated functions
+	Fanout     int    // calls each non-leaf function makes
+	BodyOps    int    // arithmetic/memory ops per function body
+	BodyReps   int    // times each body loops before calling children
+	ArenaBytes int    // shared data arena size
+	Seed       uint32 // deterministic op selection
+}
+
+// genOp is one generated body operation.
+type genOp struct {
+	kind int    // 0 add-const, 1 xor-const, 2 load-mix, 3 store, 4 shift-mix
+	val  uint32 // constant or arena offset
+}
+
+// rng is the generator's deterministic sequence (xorshift32).
+func genNext(state *uint32) uint32 {
+	x := *state
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*state = x
+	return x
+}
+
+// ops derives function i's body operations from the spec.
+func (g genSpec) ops(fn int) []genOp {
+	state := g.Seed + uint32(fn)*2654435761
+	out := make([]genOp, g.BodyOps)
+	for i := range out {
+		r := genNext(&state)
+		kind := int(r % 5)
+		val := genNext(&state)
+		if kind == 2 || kind == 3 {
+			val = val % uint32(g.ArenaBytes/4) * 4 // word-aligned arena offset
+		} else {
+			val &= 0x7fff // small constant
+		}
+		out[i] = genOp{kind: kind, val: val}
+	}
+	return out
+}
+
+// children lists the functions fn calls (a simple K-ary tree).
+func (g genSpec) children(fn int) []int {
+	var out []int
+	for k := 1; k <= g.Fanout; k++ {
+		c := fn*g.Fanout + k
+		if c < g.Funcs {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Checksum interprets the spec the way the generated program executes:
+// function 0 is called `rounds` times; each function applies its body
+// ops to the accumulator and arena, then calls its children.
+func (g genSpec) Checksum(rounds int) int32 {
+	arena := make([]uint32, g.ArenaBytes/4)
+	var acc uint32
+	var run func(fn int)
+	run = func(fn int) {
+		ops := g.ops(fn)
+		for rep := 0; rep < g.BodyReps; rep++ {
+			for _, op := range ops {
+				switch op.kind {
+				case 0:
+					acc += op.val
+				case 1:
+					acc ^= op.val
+				case 2:
+					acc += arena[op.val/4]
+				case 3:
+					arena[op.val/4] = acc
+				case 4:
+					acc = acc<<1 | acc>>31
+				}
+			}
+		}
+		for _, c := range g.children(fn) {
+			run(c)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		run(0)
+	}
+	return int32(acc)
+}
+
+// roundsPerScale stretches one scale unit to a meaningful trace length
+// (one walk of the call tree is only tens of thousands of instructions).
+const roundsPerScale = 8
+
+// Source emits the program: main calls f0 roundsPerScale*scale times
+// and prints the accumulator ($s0). The arena pointer lives in $s1 for
+// the whole run.
+func (g genSpec) Source(scale int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# generated program: %d functions, fanout %d, %d ops/body\n", g.Funcs, g.Fanout, g.BodyOps)
+	b.WriteString("\t.data\narena:\t.space " + fmt.Sprint(g.ArenaBytes) + "\n\t.text\n")
+	fmt.Fprintf(&b, `main:	li $s0, 0
+	la $s1, arena
+	li $s6, %d
+round:	jal f0
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	move $a0, $s0
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, scale*roundsPerScale)
+	for fn := 0; fn < g.Funcs; fn++ {
+		children := g.children(fn)
+		fmt.Fprintf(&b, "f%d:", fn)
+		if len(children) > 0 {
+			b.WriteString("\taddi $sp, $sp, -4\n\tsw $ra, 0($sp)\n")
+		}
+		// Body loop: functions re-execute their straight-line body,
+		// giving the instruction stream the hot-line reuse of real code.
+		fmt.Fprintf(&b, "\tli $t9, %d\nf%dbody:", g.BodyReps, fn)
+		for _, op := range g.ops(fn) {
+			switch op.kind {
+			case 0:
+				fmt.Fprintf(&b, "\taddi $s0, $s0, %d\n", op.val)
+			case 1:
+				fmt.Fprintf(&b, "\txori $s0, $s0, %d\n", op.val)
+			case 2:
+				fmt.Fprintf(&b, "\tlw $t0, %d($s1)\n\tadd $s0, $s0, $t0\n", op.val)
+			case 3:
+				fmt.Fprintf(&b, "\tsw $s0, %d($s1)\n", op.val)
+			case 4:
+				b.WriteString("\tsll $t0, $s0, 1\n\tsrl $t1, $s0, 31\n\tor $s0, $t0, $t1\n")
+			}
+		}
+		fmt.Fprintf(&b, "\taddi $t9, $t9, -1\n\tbgtz $t9, f%dbody\n", fn)
+		for _, c := range children {
+			fmt.Fprintf(&b, "\tjal f%d\n", c)
+		}
+		if len(children) > 0 {
+			b.WriteString("\tlw $ra, 0($sp)\n\taddi $sp, $sp, 4\n")
+		}
+		b.WriteString("\tjr $ra\n")
+	}
+	return b.String()
+}
+
+// bigcodeSpec is the "compiler-sized" program: ~1.5k functions whose
+// text segment runs to several hundred KB, dwarfing the 16 KB L1-I.
+var bigcodeSpec = genSpec{
+	Funcs:      1500,
+	Fanout:     3,
+	BodyOps:    14,
+	BodyReps:   4,
+	ArenaBytes: 16 * 1024,
+	Seed:       0xC0DE,
+}
+
+// Bigcode is the generated large-text benchmark.
+func Bigcode() Benchmark {
+	return Benchmark{
+		Name:        "bigcode",
+		Class:       Integer,
+		Description: "generated 1.5k-function program: several hundred KB of text",
+		Source:      bigcodeSpec.Source,
+	}
+}
+
+// BigcodeChecksum returns the accumulator Bigcode prints at the given
+// scale.
+func BigcodeChecksum(scale int) int32 { return bigcodeSpec.Checksum(scale * roundsPerScale) }

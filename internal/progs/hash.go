@@ -1,0 +1,163 @@
+package progs
+
+import "fmt"
+
+// Hash exercises an open-addressing hash table with linear probing:
+// scattered word loads and stores over a 256 KB table, the access
+// pattern of symbol-table-heavy programs like compilers.
+func Hash() Benchmark {
+	return Benchmark{
+		Name:        "hash",
+		Class:       Integer,
+		Description: "open-addressing hash table, 32 K inserts + lookups in a 64 K-slot table",
+		Source:      hashSource,
+	}
+}
+
+const (
+	hashSlots = 65536 // power of two
+	hashKeys  = 32768
+	hashSeed  = 98765
+	hashMulA  = 1664525
+	hashAddC  = 1013904223
+)
+
+// HashChecksum mirrors one round of the benchmark: the number of keys
+// found by the lookup pass (every inserted key, since the key stream is
+// replayed) and the total probe count of the insert pass.
+func HashChecksum(round int) (found, probes int32) {
+	table := make([]uint32, hashSlots)
+	insert := func(key uint32) {
+		h := key & (hashSlots - 1)
+		for {
+			probes++
+			if table[h] == 0 {
+				table[h] = key
+				return
+			}
+			if table[h] == key {
+				return
+			}
+			h = (h + 1) & (hashSlots - 1)
+		}
+	}
+	lookup := func(key uint32) bool {
+		h := key & (hashSlots - 1)
+		for {
+			if table[h] == key {
+				return true
+			}
+			if table[h] == 0 {
+				return false
+			}
+			h = (h + 1) & (hashSlots - 1)
+		}
+	}
+	seed := uint32(hashSeed + round)
+	for i := 0; i < hashKeys; i++ {
+		seed = seed*hashMulA + hashAddC
+		insert(seed | 1)
+	}
+	seed = uint32(hashSeed + round)
+	for i := 0; i < hashKeys; i++ {
+		seed = seed*hashMulA + hashAddC
+		if lookup(seed | 1) {
+			found++
+		}
+	}
+	return found, probes
+}
+
+func hashSource(scale int) string {
+	return fmt.Sprintf(`
+# hash: linear-probing table; insert a key stream, then look it all up.
+	.data
+tab:	.space %d
+	.text
+main:	li $s7, %d		# slot mask
+	li $s6, %d		# rounds remaining
+round:
+	# clear the table
+	la $t0, tab
+	li $t1, %d		# slots
+	sll $t1, $t1, 2
+	add $t1, $t0, $t1
+clr:	sw $zero, 0($t0)
+	addi $t0, $t0, 4
+	blt $t0, $t1, clr
+
+	# insert pass: count probes in $s4
+	li $s4, 0
+	li $s0, 0		# keys inserted
+	li $s1, %d
+	add $s1, $s1, $s6	# seed = base + round
+ins:	li $t9, %d
+	mul $s1, $s1, $t9
+	li $t9, %d
+	add $s1, $s1, $t9
+	ori $s2, $s1, 1		# key (never 0)
+	and $s3, $s2, $s7	# h
+probe:	addi $s4, $s4, 1
+	la $t0, tab
+	sll $t1, $s3, 2
+	add $t0, $t0, $t1
+	lw $t2, 0($t0)
+	beqz $t2, place
+	beq $t2, $s2, inserted
+	addi $s3, $s3, 1
+	and $s3, $s3, $s7
+	b probe
+place:	sw $s2, 0($t0)
+inserted:
+	addi $s0, $s0, 1
+	li $t9, %d
+	blt $s0, $t9, ins
+
+	# lookup pass: replay the key stream, count hits in $s5
+	li $s5, 0
+	li $s0, 0
+	li $s1, %d
+	add $s1, $s1, $s6
+look:	li $t9, %d
+	mul $s1, $s1, $t9
+	li $t9, %d
+	add $s1, $s1, $t9
+	ori $s2, $s1, 1
+	and $s3, $s2, $s7
+lprob:	la $t0, tab
+	sll $t1, $s3, 2
+	add $t0, $t0, $t1
+	lw $t2, 0($t0)
+	beq $t2, $s2, hit
+	beqz $t2, misskey
+	addi $s3, $s3, 1
+	and $s3, $s3, $s7
+	b lprob
+hit:	addi $s5, $s5, 1
+misskey:
+	addi $s0, $s0, 1
+	li $t9, %d
+	blt $s0, $t9, look
+
+	move $a0, $s5
+	li $v0, 1
+	syscall
+	li $a0, 32
+	li $v0, 11
+	syscall
+	move $a0, $s4
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, hashSlots*4, hashSlots-1, scale, hashSlots,
+		hashSeed, hashMulA, hashAddC, hashKeys,
+		hashSeed, hashMulA, hashAddC, hashKeys)
+}

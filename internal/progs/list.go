@@ -1,0 +1,98 @@
+package progs
+
+import "fmt"
+
+// List builds a linked list on the sbrk heap, then repeatedly traverses
+// and reverses it: serialized pointer chasing with load-use interlocks
+// on every hop, the signature of Lisp-style workloads.
+func List() Benchmark {
+	return Benchmark{
+		Name:        "list",
+		Class:       Integer,
+		Description: "linked-list build, 8 traversals, reverse, re-traverse (16 K nodes)",
+		Source:      listSource,
+	}
+}
+
+const (
+	listNodes     = 16384
+	listTraversal = 8
+)
+
+// ListChecksum returns the sum printed by every traversal: nodes carry
+// values 0..N-1, so each traversal sums N(N-1)/2 regardless of order.
+func ListChecksum() int32 {
+	return int32(listNodes * (listNodes - 1) / 2)
+}
+
+func listSource(scale int) string {
+	return fmt.Sprintf(`
+# list: node = {value, next}; prepend N nodes, traverse T times,
+# reverse in place, traverse T more times. Repeated per scale.
+	.text
+main:	li $s6, %d		# rounds remaining
+round:
+	# grab the whole arena with one sbrk, then bump-allocate nodes
+	li $s7, %d		# N
+	sll $a0, $s7, 3
+	li $v0, 9
+	syscall			# sbrk(8N) -> $v0
+	move $s4, $v0		# bump pointer
+	li $s0, 0		# head
+	li $s1, 0		# i
+build:	sw $s1, 0($s4)		# value
+	sw $s0, 4($s4)		# next = old head
+	move $s0, $s4
+	addi $s4, $s4, 8
+	addi $s1, $s1, 1
+	blt $s1, $s7, build
+
+	li $s2, %d		# traversals
+trav:	move $t0, $s0
+	li $t1, 0
+walk:	lw $t2, 0($t0)
+	add $t1, $t1, $t2
+	lw $t0, 4($t0)
+	bnez $t0, walk
+	move $a0, $t1
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+	addi $s2, $s2, -1
+	bgtz $s2, trav
+
+	# reverse in place
+	li $t0, 0		# prev
+	move $t1, $s0		# cur
+rev:	lw $t2, 4($t1)		# next
+	sw $t0, 4($t1)
+	move $t0, $t1
+	move $t1, $t2
+	bnez $t1, rev
+	move $s0, $t0
+
+	li $s2, %d
+trav2:	move $t0, $s0
+	li $t1, 0
+walk2:	lw $t2, 0($t0)
+	add $t1, $t1, $t2
+	lw $t0, 4($t0)
+	bnez $t0, walk2
+	move $a0, $t1
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+	addi $s2, $s2, -1
+	bgtz $s2, trav2
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, scale, listNodes, listTraversal, listTraversal)
+}

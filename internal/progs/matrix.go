@@ -1,0 +1,114 @@
+package progs
+
+import "fmt"
+
+// Matrix is dense double-precision matrix multiply (matrix300's genre):
+// long FP dependency chains and a column walk through B whose stride
+// defeats small caches.
+func Matrix() Benchmark {
+	return Benchmark{
+		Name:        "matrix",
+		Class:       Double,
+		Description: "40x40 double matmul with strided column access",
+		Source:      matrixSource,
+	}
+}
+
+const matrixN = 40
+
+// MatrixChecksum mirrors the benchmark: int(C[N-1][N-1]) for
+// A[i][j]=i+j, B[i][j]=i-j, C=A*B (exact in float64).
+func MatrixChecksum() int32 {
+	n := matrixN
+	var sum float64
+	for k := 0; k < n; k++ {
+		sum += float64((n-1)+k) * float64(k-(n-1))
+	}
+	return int32(sum)
+}
+
+func matrixSource(scale int) string {
+	n := matrixN
+	return fmt.Sprintf(`
+# matrix: C = A x B over %dx%d doubles, repeated per scale.
+	.data
+A:	.space %d
+B:	.space %d
+C:	.space %d
+	.text
+main:	li $s6, %d		# rounds remaining
+	li $s7, %d		# N
+round:
+	# A[i][j] = i+j, B[i][j] = i-j
+	li $s0, 0
+ii:	li $s1, 0
+ij:	mul $t0, $s0, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 3
+	add $t1, $s0, $s1
+	mtc1 $t1, $f0
+	cvt.d.w $f2, $f0
+	la $t2, A
+	add $t2, $t2, $t0
+	s.d $f2, 0($t2)
+	sub $t1, $s0, $s1
+	mtc1 $t1, $f0
+	cvt.d.w $f2, $f0
+	la $t2, B
+	add $t2, $t2, $t0
+	s.d $f2, 0($t2)
+	addi $s1, $s1, 1
+	blt $s1, $s7, ij
+	addi $s0, $s0, 1
+	blt $s0, $s7, ii
+
+	# triple loop
+	li $s0, 0		# i
+mi:	li $s1, 0		# j
+mj:	mtc1 $zero, $f4
+	mtc1 $zero, $f5	# f4:f5 = 0.0
+	li $s2, 0		# k
+mk:	mul $t0, $s0, $s7
+	add $t0, $t0, $s2
+	sll $t0, $t0, 3
+	la $t1, A
+	add $t1, $t1, $t0
+	l.d $f6, 0($t1)
+	mul $t0, $s2, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 3
+	la $t1, B
+	add $t1, $t1, $t0
+	l.d $f8, 0($t1)
+	mul.d $f10, $f6, $f8
+	add.d $f4, $f4, $f10
+	addi $s2, $s2, 1
+	blt $s2, $s7, mk
+	mul $t0, $s0, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 3
+	la $t1, C
+	add $t1, $t1, $t0
+	s.d $f4, 0($t1)
+	addi $s1, $s1, 1
+	blt $s1, $s7, mj
+	addi $s0, $s0, 1
+	blt $s0, $s7, mi
+
+	# print int(C[N-1][N-1])
+	l.d $f4, C+%d
+	cvt.w.d $f0, $f4
+	mfc1 $a0, $f0
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, n, n, n*n*8, n*n*8, n*n*8, scale, n, (n*n-1)*8)
+}

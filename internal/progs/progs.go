@@ -1,0 +1,101 @@
+// Package progs contains the benchmark kernels, written in MIPS
+// assembly, that stand in for the paper's Table 1 workload (the MIPS
+// Performance Brief C and FORTRAN programs, which are proprietary). The
+// kernels cover the same genres — integer pointer chasing, hashing,
+// sorting, string handling, deep recursion, and single/double-precision
+// dense, banded and stencil floating point — and each prints a
+// deterministic checksum that the test suite validates against a Go
+// reference implementation.
+package progs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mips"
+)
+
+// Class tags a benchmark like Table 1: integer, single-precision, or
+// double-precision floating point.
+type Class string
+
+// Benchmark classes.
+const (
+	Integer Class = "I"
+	Single  Class = "S"
+	Double  Class = "D"
+)
+
+// Benchmark is one workload kernel. Source generates the assembly for a
+// scale factor: scale 1 is the default size (roughly a million executed
+// instructions); larger scales repeat the kernel's outer loop.
+type Benchmark struct {
+	Name        string
+	Class       Class
+	Description string
+	Source      func(scale int) string
+}
+
+// Program assembles the benchmark at the given scale. Assembled
+// programs are memoized: benchmarks are pure functions of their scale.
+func (b Benchmark) Program(scale int) *mips.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	key := progKey{name: b.Name, scale: scale}
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p, ok := progCache[key]; ok {
+		return p
+	}
+	p := mips.MustAssemble(b.Source(scale))
+	progCache[key] = p
+	return p
+}
+
+// NewCPU returns a fresh emulator for the benchmark at the given scale,
+// ready to stream trace events.
+func (b Benchmark) NewCPU(scale int) *mips.CPU {
+	return mips.NewCPU(b.Program(scale))
+}
+
+type progKey struct {
+	name  string
+	scale int
+}
+
+var (
+	progMu    sync.Mutex
+	progCache = map[progKey]*mips.Program{}
+)
+
+// All returns every benchmark in suite order (the order the paper's
+// scheduler starts them in).
+func All() []Benchmark {
+	return []Benchmark{
+		Sieve(),
+		Qsort(),
+		Hash(),
+		List(),
+		Strops(),
+		Ack(),
+		Queens(),
+		Bitrev(),
+		Matrix(),
+		Daxpy(),
+		Spmv(),
+		Stencil(),
+		Conv(),
+		Bigcode(),
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("progs: unknown benchmark %q", name)
+}

@@ -1,0 +1,231 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// runBench runs a benchmark to completion at scale 1 and returns the
+// CPU and its collected trace.
+func runBench(t *testing.T, b Benchmark) (*trace.MemTrace, string) {
+	t.Helper()
+	cpu := b.NewCPU(1)
+	cpu.MaxSteps = 200_000_000
+	tr := trace.Collect(cpu)
+	if cpu.Err() != nil {
+		t.Fatalf("%s: %v (after %d steps)", b.Name, cpu.Err(), cpu.Steps())
+	}
+	if !cpu.Halted() || cpu.ExitCode() != 0 {
+		t.Fatalf("%s: did not exit cleanly (code %d)", b.Name, cpu.ExitCode())
+	}
+	return tr, cpu.Output()
+}
+
+func TestAllBenchmarksAssemble(t *testing.T) {
+	for _, b := range All() {
+		for _, scale := range []int{1, 2, 5} {
+			if p := b.Program(scale); len(p.Text) == 0 {
+				t.Errorf("%s scale %d: empty text", b.Name, scale)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("sieve")
+	if err != nil || b.Name != "sieve" {
+		t.Fatalf("ByName(sieve) = %v, %v", b, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown benchmark")
+	}
+}
+
+func TestProgramMemoized(t *testing.T) {
+	b := Sieve()
+	if b.Program(1) != b.Program(1) {
+		t.Fatal("Program not memoized")
+	}
+	if b.Program(1) == b.Program(2) {
+		t.Fatal("different scales share a program")
+	}
+}
+
+func lines(out string) []string {
+	return strings.Fields(strings.TrimSpace(out))
+}
+
+func TestSieveChecksum(t *testing.T) {
+	_, out := runBench(t, Sieve())
+	want := fmt.Sprint(SievePrimes(sieveN))
+	for _, l := range lines(out) {
+		if l != want {
+			t.Fatalf("sieve printed %q, want %s", l, want)
+		}
+	}
+}
+
+func TestQsortChecksum(t *testing.T) {
+	_, out := runBench(t, Qsort())
+	fields := lines(out)
+	if len(fields) != 2 {
+		t.Fatalf("qsort printed %q", out)
+	}
+	violations, middle := QsortChecksum(1)
+	if fields[0] != fmt.Sprint(violations) || fields[1] != fmt.Sprint(middle) {
+		t.Fatalf("qsort printed %v, want [%d %d]", fields, violations, middle)
+	}
+}
+
+func TestHashChecksum(t *testing.T) {
+	_, out := runBench(t, Hash())
+	fields := lines(out)
+	found, probes := HashChecksum(1)
+	if len(fields) != 2 || fields[0] != fmt.Sprint(found) || fields[1] != fmt.Sprint(probes) {
+		t.Fatalf("hash printed %v, want [%d %d]", fields, found, probes)
+	}
+}
+
+func TestListChecksum(t *testing.T) {
+	_, out := runBench(t, List())
+	want := fmt.Sprint(ListChecksum())
+	fields := lines(out)
+	if len(fields) != 2*listTraversal {
+		t.Fatalf("list printed %d sums, want %d", len(fields), 2*listTraversal)
+	}
+	for _, l := range fields {
+		if l != want {
+			t.Fatalf("list printed %q, want %s", l, want)
+		}
+	}
+}
+
+func TestStropsChecksum(t *testing.T) {
+	_, out := runBench(t, Strops())
+	for _, l := range lines(out) {
+		if l != fmt.Sprint(StropsChecksum()) {
+			t.Fatalf("strops printed %q, want %d", l, StropsChecksum())
+		}
+	}
+}
+
+func TestAckChecksum(t *testing.T) {
+	_, out := runBench(t, Ack())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(AckChecksum()); got != want {
+		t.Fatalf("ack printed %q, want %s", got, want)
+	}
+}
+
+func TestMatrixChecksum(t *testing.T) {
+	_, out := runBench(t, Matrix())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(MatrixChecksum()); got != want {
+		t.Fatalf("matrix printed %q, want %s", got, want)
+	}
+}
+
+func TestDaxpyChecksum(t *testing.T) {
+	_, out := runBench(t, Daxpy())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(DaxpyChecksum()); got != want {
+		t.Fatalf("daxpy printed %q, want %s", got, want)
+	}
+}
+
+func TestSpmvChecksum(t *testing.T) {
+	_, out := runBench(t, Spmv())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(SpmvChecksum()); got != want {
+		t.Fatalf("spmv printed %q, want %s", got, want)
+	}
+}
+
+func TestStencilChecksum(t *testing.T) {
+	_, out := runBench(t, Stencil())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(StencilChecksum()); got != want {
+		t.Fatalf("stencil printed %q, want %s", got, want)
+	}
+}
+
+// TestSuiteShape checks the Table-1-style properties every benchmark
+// must have: a meaningful instruction count, loads and stores, and at
+// least one voluntary system call.
+func TestSuiteShape(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			tr, _ := runBench(t, b)
+			c := trace.Characterize(tr)
+			if c.Instructions < 100_000 {
+				t.Errorf("only %d instructions; too small to be a benchmark", c.Instructions)
+			}
+			if c.Instructions > 20_000_000 {
+				t.Errorf("%d instructions; too large for the default scale", c.Instructions)
+			}
+			if c.Loads == 0 || c.Stores == 0 {
+				t.Errorf("loads %d stores %d; benchmarks must touch memory", c.Loads, c.Stores)
+			}
+			if c.Syscalls == 0 {
+				t.Error("no voluntary syscalls; the scheduler needs them")
+			}
+			if c.BaseCPI() <= 1.0 {
+				t.Errorf("base CPI %.3f; stall modeling seems off", c.BaseCPI())
+			}
+			t.Logf("%s (%s): %s, base CPI %.3f", b.Name, b.Class, c, c.BaseCPI())
+		})
+	}
+}
+
+// TestScaleGrowsWork verifies that scale multiplies executed work.
+func TestScaleGrowsWork(t *testing.T) {
+	b := Strops()
+	c1 := b.NewCPU(1)
+	c2 := b.NewCPU(2)
+	if err := c1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Steps() < c1.Steps()*3/2 {
+		t.Fatalf("scale 2 ran %d steps vs %d at scale 1", c2.Steps(), c1.Steps())
+	}
+}
+
+func TestQueensChecksum(t *testing.T) {
+	if got := QueensChecksum(); got != 92 {
+		t.Fatalf("Go reference gives %d solutions for 8-queens, want 92", got)
+	}
+	_, out := runBench(t, Queens())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(QueensChecksum()); got != want {
+		t.Fatalf("queens printed %q, want %s", got, want)
+	}
+}
+
+func TestConvChecksum(t *testing.T) {
+	_, out := runBench(t, Conv())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(ConvChecksum()); got != want {
+		t.Fatalf("conv printed %q, want %s", got, want)
+	}
+}
+
+func TestBitrevChecksum(t *testing.T) {
+	_, out := runBench(t, Bitrev())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(BitrevChecksum(1)); got != want {
+		t.Fatalf("bitrev printed %q, want %s", got, want)
+	}
+}
+
+func TestBigcodeChecksum(t *testing.T) {
+	_, out := runBench(t, Bigcode())
+	if got, want := strings.TrimSpace(out), fmt.Sprint(BigcodeChecksum(1)); got != want {
+		t.Fatalf("bigcode printed %q, want %s", got, want)
+	}
+}
+
+func TestBigcodeTextFootprint(t *testing.T) {
+	p := Bigcode().Program(1)
+	if text := len(p.Text) * 4; text < 128*1024 {
+		t.Fatalf("bigcode text is %d bytes; the point is a large instruction footprint", text)
+	}
+}

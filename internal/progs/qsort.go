@@ -1,0 +1,160 @@
+package progs
+
+import "fmt"
+
+// Qsort sorts pseudo-random integers with recursive quicksort: deep
+// call chains, data-dependent branches, and shuffled loads/stores.
+func Qsort() Benchmark {
+	return Benchmark{
+		Name:        "qsort",
+		Class:       Integer,
+		Description: "recursive quicksort of 16 K pseudo-random words",
+		Source:      qsortSource,
+	}
+}
+
+const (
+	qsortN    = 16384
+	qsortSeed = 12345
+	qsortMulA = 1103515245
+	qsortAddC = 12345
+)
+
+// QsortChecksum mirrors the benchmark: for the given round (1-based, as
+// the benchmark counts rounds down from scale), it returns the number
+// of adjacent out-of-order pairs after sorting (always 0) and the value
+// at the middle slot.
+func QsortChecksum(round int) (violations int, middle int32) {
+	arr := make([]int32, qsortN)
+	seed := int32(qsortSeed + round)
+	for i := range arr {
+		seed = seed*qsortMulA + qsortAddC
+		arr[i] = seed
+	}
+	quick(arr)
+	for i := 1; i < len(arr); i++ {
+		if arr[i-1] > arr[i] {
+			violations++
+		}
+	}
+	return violations, arr[qsortN/2]
+}
+
+// quick mirrors the benchmark's Lomuto partition exactly.
+func quick(a []int32) {
+	if len(a) < 2 {
+		return
+	}
+	pivot := a[len(a)-1]
+	i := 0
+	for j := 0; j < len(a)-1; j++ {
+		if a[j] <= pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[len(a)-1] = a[len(a)-1], a[i]
+	quick(a[:i])
+	quick(a[i+1:])
+}
+
+func qsortSource(scale int) string {
+	return fmt.Sprintf(`
+# qsort: fill with an LCG, quicksort, verify, print violations and a probe.
+	.data
+arr:	.space %d
+	.text
+main:	li $s7, %d		# N
+	li $s6, %d		# rounds remaining
+round:
+	# fill with LCG seeded by (base + round)
+	la $s0, arr
+	li $s1, 0
+	li $s2, %d
+	add $s2, $s2, $s6
+	li $s3, %d
+fill:	mul $s2, $s2, $s3
+	addi $s2, $s2, %d
+	sw $s2, 0($s0)
+	addi $s0, $s0, 4
+	addi $s1, $s1, 1
+	blt $s1, $s7, fill
+
+	# qsort(&arr[0], &arr[N-1])
+	la $a0, arr
+	addi $t0, $s7, -1
+	sll $t0, $t0, 2
+	la $a1, arr
+	add $a1, $a1, $t0
+	jal qsort
+
+	# verify: count adjacent inversions
+	la $s0, arr
+	addi $t0, $s7, -1
+	sll $t0, $t0, 2
+	add $s1, $s0, $t0	# &arr[N-1]
+	li $s4, 0
+verify:	lw $t1, 0($s0)
+	lw $t2, 4($s0)
+	ble $t1, $t2, ok
+	addi $s4, $s4, 1
+ok:	addi $s0, $s0, 4
+	blt $s0, $s1, verify
+
+	move $a0, $s4
+	li $v0, 1
+	syscall
+	li $a0, 32
+	li $v0, 11
+	syscall
+	# probe the middle element
+	la $t0, arr
+	li $t1, %d
+	add $t0, $t0, $t1
+	lw $a0, 0($t0)
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+
+# qsort(lo=$a0, hi=$a1): addresses of first and last element, inclusive.
+qsort:	bge $a0, $a1, qret
+	lw $t0, 0($a1)		# pivot
+	move $t1, $a0		# i: store slot
+	move $t2, $a0		# j: scan
+part:	lw $t3, 0($t2)
+	bgt $t3, $t0, nosw
+	lw $t4, 0($t1)
+	sw $t3, 0($t1)
+	sw $t4, 0($t2)
+	addi $t1, $t1, 4
+nosw:	addi $t2, $t2, 4
+	blt $t2, $a1, part
+	# move pivot into place
+	lw $t4, 0($t1)
+	lw $t3, 0($a1)
+	sw $t3, 0($t1)
+	sw $t4, 0($a1)
+	# recurse on both halves
+	addi $sp, $sp, -12
+	sw $ra, 0($sp)
+	sw $t1, 4($sp)
+	sw $a1, 8($sp)
+	addi $a1, $t1, -4
+	jal qsort
+	lw $t1, 4($sp)
+	lw $a1, 8($sp)
+	addi $a0, $t1, 4
+	jal qsort
+	lw $ra, 0($sp)
+	addi $sp, $sp, 12
+qret:	jr $ra
+`, qsortN*4, qsortN, scale, qsortSeed, qsortMulA, qsortAddC, (qsortN/2)*4)
+}

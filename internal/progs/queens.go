@@ -1,0 +1,151 @@
+package progs
+
+import "fmt"
+
+// Queens counts N-queens solutions by recursive backtracking: deep
+// data-dependent control flow over small byte arrays, the search-heavy
+// genre of eqntott/espresso.
+func Queens() Benchmark {
+	return Benchmark{
+		Name:        "queens",
+		Class:       Integer,
+		Description: "8-queens backtracking search, counting all solutions",
+		Source:      queensSource,
+	}
+}
+
+const queensN = 8
+
+// QueensChecksum returns the number of solutions the benchmark prints
+// each round (92 for N=8).
+func QueensChecksum() int32 {
+	cols := make([]bool, queensN)
+	d1 := make([]bool, 2*queensN)
+	d2 := make([]bool, 2*queensN)
+	var count int32
+	var solve func(row int)
+	solve = func(row int) {
+		if row == queensN {
+			count++
+			return
+		}
+		for col := 0; col < queensN; col++ {
+			if cols[col] || d1[row+col] || d2[row-col+queensN] {
+				continue
+			}
+			cols[col] = true
+			d1[row+col] = true
+			d2[row-col+queensN] = true
+			solve(row + 1)
+			cols[col] = false
+			d1[row+col] = false
+			d2[row-col+queensN] = false
+		}
+	}
+	solve(0)
+	return count
+}
+
+func queensSource(scale int) string {
+	n := queensN
+	return fmt.Sprintf(`
+# queens: count %d-queens placements by backtracking.
+	.data
+cols:	.space %d
+diag1:	.space %d
+diag2:	.space %d
+	.text
+main:	li $s6, %d		# rounds remaining
+round:
+	# clear occupancy arrays
+	la $t0, cols
+	li $t1, %d
+	add $t1, $t0, $t1
+clr:	sb $zero, 0($t0)
+	addi $t0, $t0, 1
+	blt $t0, $t1, clr
+
+	li $s0, 0		# solution count
+	li $a0, 0		# row
+	jal solve
+
+	move $a0, $s0
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+
+# solve(row=$a0): increments $s0 per completed placement. Uses $s7 = N.
+solve:	li $s7, %d
+	bne $a0, $s7, search
+	addi $s0, $s0, 1
+	jr $ra
+search:	addi $sp, $sp, -12
+	sw $ra, 0($sp)
+	sw $a0, 4($sp)
+	li $t9, 0		# col
+colloop:
+	sw $t9, 8($sp)
+	# occupied checks
+	la $t0, cols
+	add $t0, $t0, $t9
+	lbu $t1, 0($t0)
+	bnez $t1, next
+	lw $t2, 4($sp)		# row
+	add $t3, $t2, $t9	# row+col
+	la $t0, diag1
+	add $t0, $t0, $t3
+	lbu $t1, 0($t0)
+	bnez $t1, next
+	sub $t4, $t2, $t9	# row-col
+	addi $t4, $t4, %d	# +N
+	la $t0, diag2
+	add $t0, $t0, $t4
+	lbu $t1, 0($t0)
+	bnez $t1, next
+	# place
+	li $t5, 1
+	la $t0, cols
+	add $t0, $t0, $t9
+	sb $t5, 0($t0)
+	la $t0, diag1
+	add $t0, $t0, $t3
+	sb $t5, 0($t0)
+	la $t0, diag2
+	add $t0, $t0, $t4
+	sb $t5, 0($t0)
+	# recurse
+	lw $a0, 4($sp)
+	addi $a0, $a0, 1
+	jal solve
+	# unplace (recompute indexes from the frame)
+	lw $t2, 4($sp)		# row
+	lw $t9, 8($sp)		# col
+	add $t3, $t2, $t9
+	sub $t4, $t2, $t9
+	addi $t4, $t4, %d
+	la $t0, cols
+	add $t0, $t0, $t9
+	sb $zero, 0($t0)
+	la $t0, diag1
+	add $t0, $t0, $t3
+	sb $zero, 0($t0)
+	la $t0, diag2
+	add $t0, $t0, $t4
+	sb $zero, 0($t0)
+next:	lw $t9, 8($sp)
+	addi $t9, $t9, 1
+	li $t8, %d
+	blt $t9, $t8, colloop
+	lw $ra, 0($sp)
+	addi $sp, $sp, 12
+	jr $ra
+`, n, n, 2*n, 2*n, scale, n+4*n, n, n, n, n)
+}

@@ -1,0 +1,97 @@
+package progs
+
+import "fmt"
+
+// Sieve is the Eratosthenes sieve over a large byte array: a classic
+// integer kernel with long sequential store and load sweeps and strided
+// marking, standing in for array-heavy C benchmarks.
+func Sieve() Benchmark {
+	return Benchmark{
+		Name:        "sieve",
+		Class:       Integer,
+		Description: "sieve of Eratosthenes over a 128 KB flag array",
+		Source:      sieveSource,
+	}
+}
+
+// SievePrimes returns the number of primes below n — the checksum the
+// benchmark prints once per pass.
+func SievePrimes(n int) int {
+	flags := make([]bool, n)
+	for i := range flags {
+		flags[i] = true
+	}
+	count := 0
+	for p := 2; p < n; p++ {
+		if !flags[p] {
+			continue
+		}
+		count++
+		for m := p * p; m < n; m += p {
+			flags[m] = false
+		}
+	}
+	return count
+}
+
+// sieveN is the flag-array size at every scale; scale repeats passes.
+const sieveN = 131072
+
+func sieveSource(scale int) string {
+	return fmt.Sprintf(`
+# sieve: count primes below N, repeated `+"%d"+` times.
+	.data
+flags:	.space %d
+	.text
+main:	li $s6, %d		# N
+	li $s5, %d		# passes
+pass:
+	# set all flags
+	la $s0, flags
+	add $s1, $s0, $s6
+	li $t0, 1
+clear:	sb $t0, 0($s0)
+	addi $s0, $s0, 1
+	blt $s0, $s1, clear
+
+	# strike multiples
+	li $s2, 2		# p
+outer:	mul $t0, $s2, $s2
+	bge $t0, $s6, count_primes
+	la $t1, flags
+	add $t2, $t1, $s2
+	lbu $t3, 0($t2)
+	beqz $t3, next_p
+	add $t4, $t1, $t0	# &flags[p*p]
+	add $t5, $t1, $s6
+mark:	sb $zero, 0($t4)
+	add $t4, $t4, $s2
+	blt $t4, $t5, mark
+next_p:	addi $s2, $s2, 1
+	b outer
+
+count_primes:
+	la $s0, flags
+	addi $s0, $s0, 2
+	la $s1, flags
+	add $s1, $s1, $s6
+	li $s3, 0
+cnt:	lbu $t0, 0($s0)
+	add $s3, $s3, $t0
+	addi $s0, $s0, 1
+	blt $s0, $s1, cnt
+
+	move $a0, $s3
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s5, $s5, -1
+	bgtz $s5, pass
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, scale, sieveN, sieveN, scale)
+}

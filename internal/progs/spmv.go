@@ -1,0 +1,131 @@
+package progs
+
+import "fmt"
+
+// Spmv is banded sparse matrix-vector multiply through index arrays —
+// the gather access pattern of circuit simulators like spice.
+func Spmv() Benchmark {
+	return Benchmark{
+		Name:        "spmv",
+		Class:       Double,
+		Description: "sparse matrix-vector multiply, 4 K rows x 7 nonzeros, gathered x",
+		Source:      spmvSource,
+	}
+}
+
+const (
+	spmvRows   = 4096
+	spmvNNZ    = 7
+	spmvStride = 137
+	spmvPasses = 4
+)
+
+// SpmvChecksum returns int(y[0]) printed each round: all matrix values
+// and x entries are 1.0, so every row sums to exactly 7, and the
+// between-pass update x = y - 6 restores x = 1.
+func SpmvChecksum() int32 { return spmvNNZ }
+
+func spmvSource(scale int) string {
+	return fmt.Sprintf(`
+# spmv: y[r] = sum_k val[r*7+k] * x[col[r*7+k]], col = (r + k*stride) %% R.
+	.data
+one:	.double 1.0
+six:	.double 6.0
+val:	.space %d
+col:	.space %d
+X:	.space %d
+Y:	.space %d
+	.text
+main:	li $s6, %d		# rounds remaining
+	li $s7, %d		# rows
+round:
+	l.d $f20, one
+	l.d $f22, six
+
+	# build col indexes and val = 1.0; x = 1.0
+	li $s0, 0		# r
+	la $s1, col
+	la $s2, val
+bld:	li $s3, 0		# k
+bldk:	li $t0, %d
+	mul $t0, $s3, $t0
+	add $t0, $t0, $s0
+	li $t1, %d
+	rem $t2, $t0, $t1	# (r + k*stride) %% rows
+	sw $t2, 0($s1)
+	s.d $f20, 0($s2)
+	addi $s1, $s1, 4
+	addi $s2, $s2, 8
+	addi $s3, $s3, 1
+	li $t9, %d
+	blt $s3, $t9, bldk
+	addi $s0, $s0, 1
+	blt $s0, $s7, bld
+
+	la $s0, X
+	li $s1, 0
+initx:	s.d $f20, 0($s0)
+	addi $s0, $s0, 8
+	addi $s1, $s1, 1
+	blt $s1, $s7, initx
+
+	li $s5, %d		# passes
+pass:
+	# y = A*x
+	li $s0, 0		# r
+	la $s1, col
+	la $s2, val
+	la $s3, Y
+row:	mtc1 $zero, $f6
+	mtc1 $zero, $f7
+	li $s4, 0		# k
+gath:	lw $t0, 0($s1)		# column index
+	sll $t0, $t0, 3
+	la $t1, X
+	add $t1, $t1, $t0
+	l.d $f0, 0($t1)
+	l.d $f2, 0($s2)
+	mul.d $f4, $f0, $f2
+	add.d $f6, $f6, $f4
+	addi $s1, $s1, 4
+	addi $s2, $s2, 8
+	addi $s4, $s4, 1
+	li $t9, %d
+	blt $s4, $t9, gath
+	s.d $f6, 0($s3)
+	addi $s3, $s3, 8
+	addi $s0, $s0, 1
+	blt $s0, $s7, row
+
+	# x = y - 6 (restores x = 1 exactly)
+	la $s0, X
+	la $s1, Y
+	li $s2, 0
+upd:	l.d $f0, 0($s1)
+	sub.d $f0, $f0, $f22
+	s.d $f0, 0($s0)
+	addi $s0, $s0, 8
+	addi $s1, $s1, 8
+	addi $s2, $s2, 1
+	blt $s2, $s7, upd
+
+	addi $s5, $s5, -1
+	bgtz $s5, pass
+
+	l.d $f6, Y
+	cvt.w.d $f0, $f6
+	mfc1 $a0, $f0
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, spmvRows*spmvNNZ*8, spmvRows*spmvNNZ*4, spmvRows*8, spmvRows*8,
+		scale, spmvRows, spmvStride, spmvRows, spmvNNZ, spmvPasses, spmvNNZ)
+}

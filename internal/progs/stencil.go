@@ -1,0 +1,151 @@
+package progs
+
+import "fmt"
+
+// Stencil is single-precision Jacobi relaxation on a 2D grid —
+// tomcatv's genre: row-wise FP streaming with three-row reuse.
+func Stencil() Benchmark {
+	return Benchmark{
+		Name:        "stencil",
+		Class:       Single,
+		Description: "5-point Jacobi relaxation, 128x128 single-precision grid, 3 sweeps",
+		Source:      stencilSource,
+	}
+}
+
+const (
+	stencilG     = 128
+	stencilIters = 3
+)
+
+// StencilChecksum mirrors the benchmark in float32 and returns
+// int(1000 * grid[G/2][G/2]) after the sweeps. All arithmetic is IEEE
+// single in the same order, so the value matches bit-exactly.
+func StencilChecksum() int32 {
+	g := stencilG
+	cur := make([]float32, g*g)
+	next := make([]float32, g*g)
+	for i := 1; i < g-1; i++ {
+		for j := 1; j < g-1; j++ {
+			cur[i*g+j] = 100
+		}
+	}
+	for it := 0; it < stencilIters; it++ {
+		for i := 1; i < g-1; i++ {
+			for j := 1; j < g-1; j++ {
+				sum := cur[(i-1)*g+j] + cur[(i+1)*g+j]
+				sum += cur[i*g+j-1]
+				sum += cur[i*g+j+1]
+				next[i*g+j] = 0.25 * sum
+			}
+		}
+		cur, next = next, cur
+	}
+	return int32(float32(1000) * cur[(g/2)*g+g/2])
+}
+
+func stencilSource(scale int) string {
+	g := stencilG
+	return fmt.Sprintf(`
+# stencil: Jacobi sweeps over a %dx%d float grid, two buffers swapped.
+	.data
+quart:	.float 0.25
+hund:	.float 100.0
+kilo:	.float 1000.0
+G0:	.space %d
+	.space 4096		# keep cur/next grids in different L1 sets
+G1:	.space %d
+	.text
+main:	li $s6, %d		# rounds remaining
+	li $s7, %d		# G
+round:
+	l.s $f20, quart
+	l.s $f22, hund
+	l.s $f24, kilo
+
+	# zero both buffers
+	la $t0, G0
+	li $t1, %d
+	add $t1, $t0, $t1
+z0:	sw $zero, 0($t0)
+	addi $t0, $t0, 4
+	blt $t0, $t1, z0
+	la $t0, G1
+	li $t1, %d
+	add $t1, $t0, $t1
+z1:	sw $zero, 0($t0)
+	addi $t0, $t0, 4
+	blt $t0, $t1, z1
+
+	# interior of G0 = 100.0
+	li $s0, 1
+ini:	li $s1, 1
+inj:	mul $t0, $s0, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 2
+	la $t1, G0
+	add $t1, $t1, $t0
+	s.s $f22, 0($t1)
+	addi $s1, $s1, 1
+	addi $t2, $s7, -1
+	blt $s1, $t2, inj
+	addi $s0, $s0, 1
+	addi $t2, $s7, -1
+	blt $s0, $t2, ini
+
+	la $s4, G0		# cur
+	la $s5, G1		# next
+	li $s3, %d		# iterations
+sweep:	li $s0, 1		# i
+swi:	li $s1, 1		# j
+swj:	mul $t0, $s0, $s7
+	add $t0, $t0, $s1
+	sll $t0, $t0, 2		# center offset
+	add $t1, $s4, $t0
+	sll $t3, $s7, 2		# row bytes
+	sub $t2, $t1, $t3
+	l.s $f0, 0($t2)		# up
+	add $t2, $t1, $t3
+	l.s $f2, 0($t2)		# down
+	l.s $f4, -4($t1)	# left
+	l.s $f6, 4($t1)		# right
+	add.s $f0, $f0, $f2
+	add.s $f0, $f0, $f4
+	add.s $f0, $f0, $f6
+	mul.s $f0, $f20, $f0
+	add $t2, $s5, $t0
+	s.s $f0, 0($t2)
+	addi $s1, $s1, 1
+	addi $t4, $s7, -1
+	blt $s1, $t4, swj
+	addi $s0, $s0, 1
+	addi $t4, $s7, -1
+	blt $s0, $t4, swi
+	# swap cur/next
+	move $t0, $s4
+	move $s4, $s5
+	move $s5, $t0
+	addi $s3, $s3, -1
+	bgtz $s3, sweep
+
+	# print int(1000 * cur[G/2][G/2])
+	li $t0, %d
+	add $t1, $s4, $t0
+	l.s $f0, 0($t1)
+	mul.s $f0, $f24, $f0
+	cvt.w.s $f2, $f0
+	mfc1 $a0, $f2
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, g, g, g*g*4, g*g*4, scale, g, g*g*4, g*g*4, stencilIters,
+		((g/2)*g+g/2)*4)
+}

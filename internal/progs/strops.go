@@ -1,0 +1,91 @@
+package progs
+
+import "fmt"
+
+// Strops sweeps byte buffers with fill, copy, and compare loops — the
+// memcpy/strcmp inner loops that dominate text-processing programs.
+func Strops() Benchmark {
+	return Benchmark{
+		Name:        "strops",
+		Class:       Integer,
+		Description: "byte fill/copy/compare plus a word-wide copy over 64 KB buffers",
+		Source:      stropsSource,
+	}
+}
+
+const stropsSize = 65536
+
+// StropsChecksum returns the match count each round prints: every byte
+// compares equal after the copy, so it is the buffer size.
+func StropsChecksum() int32 { return stropsSize }
+
+func stropsSource(scale int) string {
+	return fmt.Sprintf(`
+# strops: fill A bytewise, copy A->B bytewise, compare, then copy
+# B->A wordwise. Prints the per-round match count.
+	.data
+A:	.space %d
+	.space 4096		# de-conflict A and B in a direct-mapped L1
+B:	.space %d
+	.text
+main:	li $s7, %d		# size
+	li $s6, %d		# rounds remaining
+round:
+	# fill A[i] = i & 0xff (plus round so content varies)
+	la $s0, A
+	add $s1, $s0, $s7
+	move $t1, $s6
+fill:	andi $t0, $t1, 0xff
+	sb $t0, 0($s0)
+	addi $t1, $t1, 1
+	addi $s0, $s0, 1
+	blt $s0, $s1, fill
+
+	# byte copy A -> B
+	la $s0, A
+	la $s2, B
+	add $s1, $s0, $s7
+copy:	lbu $t0, 0($s0)
+	sb $t0, 0($s2)
+	addi $s0, $s0, 1
+	addi $s2, $s2, 1
+	blt $s0, $s1, copy
+
+	# compare, counting matches
+	la $s0, A
+	la $s2, B
+	add $s1, $s0, $s7
+	li $s3, 0
+cmp:	lbu $t0, 0($s0)
+	lbu $t1, 0($s2)
+	bne $t0, $t1, nomatch
+	addi $s3, $s3, 1
+nomatch:
+	addi $s0, $s0, 1
+	addi $s2, $s2, 1
+	blt $s0, $s1, cmp
+
+	# word copy B -> A
+	la $s0, B
+	la $s2, A
+	add $s1, $s0, $s7
+wcopy:	lw $t0, 0($s0)
+	sw $t0, 0($s2)
+	addi $s0, $s0, 4
+	addi $s2, $s2, 4
+	blt $s0, $s1, wcopy
+
+	move $a0, $s3
+	li $v0, 1
+	syscall
+	li $a0, 10
+	li $v0, 11
+	syscall
+
+	addi $s6, $s6, -1
+	bgtz $s6, round
+	li $a0, 0
+	li $v0, 10
+	syscall
+`, stropsSize, stropsSize, stropsSize, scale)
+}

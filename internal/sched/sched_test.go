@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mmu"
+	"repro/internal/trace"
+)
+
+// fakeTarget records steps and advances a fake clock.
+type fakeTarget struct {
+	now       uint64
+	cyclesPer uint64
+	pids      []mmu.PID
+	pcs       []uint32
+}
+
+func newFake(cyclesPer uint64) *fakeTarget { return &fakeTarget{cyclesPer: cyclesPer} }
+
+func (f *fakeTarget) Step(pid mmu.PID, ev *trace.Event) {
+	f.now += f.cyclesPer
+	f.pids = append(f.pids, pid)
+	f.pcs = append(f.pcs, ev.PC)
+}
+
+func (f *fakeTarget) Now() uint64 { return f.now }
+
+// mkTrace builds a trace of n events; syscallEvery > 0 marks every k-th
+// event as a voluntary system call.
+func mkTrace(n int, syscallEvery int) *trace.MemTrace {
+	events := make([]trace.Event, n)
+	for i := range events {
+		events[i].PC = uint32(i * 4)
+		if syscallEvery > 0 && (i+1)%syscallEvery == 0 {
+			events[i].Syscall = true
+		}
+	}
+	return trace.NewMemTrace(events)
+}
+
+func TestAllInstructionsRun(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(10, 0)},
+		{Name: "b", Stream: mkTrace(7, 0)},
+	}, Config{Level: 2, TimeSlice: 1000})
+	if res.Instructions != 17 {
+		t.Fatalf("instructions = %d, want 17", res.Instructions)
+	}
+	if len(res.Completed) != 2 {
+		t.Fatalf("completed = %v, want both", res.Completed)
+	}
+}
+
+func TestSyscallCausesSwitch(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(4, 2)}, // syscalls at events 2 and 4
+		{Name: "b", Stream: mkTrace(4, 2)},
+	}, Config{Level: 2, TimeSlice: 1 << 40})
+	if res.SyscallSwitches != 4 {
+		t.Fatalf("syscall switches = %d, want 4", res.SyscallSwitches)
+	}
+	// The pid sequence must alternate in pairs: a,a,b,b,a,a,b,b.
+	want := []mmu.PID{1, 1, 2, 2, 1, 1, 2, 2}
+	for i, pid := range ft.pids {
+		if pid != want[i] {
+			t.Fatalf("pid sequence %v, want %v", ft.pids, want)
+		}
+	}
+}
+
+func TestNoSyscallSwitchOption(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(4, 2)},
+		{Name: "b", Stream: mkTrace(4, 2)},
+	}, Config{Level: 2, TimeSlice: 1 << 40, NoSyscallSwitch: true})
+	if res.SyscallSwitches != 0 {
+		t.Fatalf("syscall switches = %d, want 0", res.SyscallSwitches)
+	}
+	// Process a runs to completion before b starts.
+	for i, pid := range ft.pids[:4] {
+		if pid != 1 {
+			t.Fatalf("event %d from pid %d, want 1", i, pid)
+		}
+	}
+}
+
+func TestTimeSliceRotation(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(20, 0)},
+		{Name: "b", Stream: mkTrace(20, 0)},
+	}, Config{Level: 2, TimeSlice: 5})
+	if res.SliceSwitches == 0 {
+		t.Fatal("no slice switches with a tiny slice")
+	}
+	// First five events from pid 1, next five from pid 2.
+	for i := 0; i < 5; i++ {
+		if ft.pids[i] != 1 {
+			t.Fatalf("event %d from pid %d, want 1", i, ft.pids[i])
+		}
+		if ft.pids[5+i] != 2 {
+			t.Fatalf("event %d from pid %d, want 2", 5+i, ft.pids[5+i])
+		}
+	}
+}
+
+func TestLevelLimitsConcurrency(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(3, 1)}, // syscall every instruction
+		{Name: "b", Stream: mkTrace(3, 1)},
+		{Name: "c", Stream: mkTrace(3, 1)},
+	}, Config{Level: 2, TimeSlice: 1 << 40})
+	// pid 3 (process c) must not appear until someone completed, i.e.
+	// after at least 3 events of one of a/b.
+	first3 := -1
+	for i, pid := range ft.pids {
+		if pid == 3 {
+			first3 = i
+			break
+		}
+	}
+	if first3 < 0 {
+		t.Fatal("process c never ran")
+	}
+	count1 := 0
+	for _, pid := range ft.pids[:first3] {
+		if pid == 1 {
+			count1++
+		}
+	}
+	if count1 != 3 {
+		t.Fatalf("process c started before a finished (a had run %d of 3)", count1)
+	}
+	if len(res.Completed) != 3 {
+		t.Fatalf("completed %v", res.Completed)
+	}
+}
+
+func TestCompletionOrderRecorded(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "long", Stream: mkTrace(10, 1)},
+		{Name: "short", Stream: mkTrace(2, 1)},
+	}, Config{Level: 2, TimeSlice: 1 << 40})
+	if len(res.Completed) != 2 || res.Completed[0] != "short" || res.Completed[1] != "long" {
+		t.Fatalf("completion order %v, want [short long]", res.Completed)
+	}
+}
+
+func TestMaxInstructionsStopsEarly(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{{Name: "a", Stream: mkTrace(1000, 0)}},
+		Config{Level: 1, TimeSlice: 100, MaxInstructions: 42})
+	if res.Instructions != 42 {
+		t.Fatalf("instructions = %d, want 42", res.Instructions)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ft := newFake(1)
+	// Level 0 -> 8; slice 0 -> 500k. With one short process neither
+	// default changes behaviour, but the run must still complete.
+	res := Run(ft, []Process{{Name: "a", Stream: mkTrace(5, 0)}}, Config{})
+	if res.Instructions != 5 {
+		t.Fatalf("instructions = %d, want 5", res.Instructions)
+	}
+}
+
+func TestDistinctPIDsPerProcess(t *testing.T) {
+	ft := newFake(1)
+	Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(2, 0)},
+		{Name: "b", Stream: mkTrace(2, 0)},
+		{Name: "c", Stream: mkTrace(2, 0)},
+	}, Config{Level: 3, TimeSlice: 1})
+	seen := map[mmu.PID]bool{}
+	for _, pid := range ft.pids {
+		seen[pid] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("distinct PIDs = %d, want 3", len(seen))
+	}
+	if seen[0] {
+		t.Fatal("PID 0 must never be assigned")
+	}
+}
+
+func TestCyclesPerSwitch(t *testing.T) {
+	ft := newFake(10)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(10, 0)},
+		{Name: "b", Stream: mkTrace(10, 0)},
+	}, Config{Level: 2, TimeSlice: 50}) // 5 instructions per slice
+	if res.Switches == 0 {
+		t.Fatal("no switches")
+	}
+	if res.CyclesPerSwitch <= 0 {
+		t.Fatalf("CyclesPerSwitch = %g", res.CyclesPerSwitch)
+	}
+	if !strings.Contains(res.String(), "switches") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestEmptyProcessList(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, nil, Config{})
+	if res.Instructions != 0 || len(res.Completed) != 0 {
+		t.Fatalf("empty run produced %+v", res)
+	}
+}
+
+func TestZeroLengthProcess(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "empty", Stream: mkTrace(0, 0)},
+		{Name: "real", Stream: mkTrace(3, 0)},
+	}, Config{Level: 2, TimeSlice: 100})
+	if res.Instructions != 3 {
+		t.Fatalf("instructions = %d, want 3", res.Instructions)
+	}
+	if len(res.Completed) != 2 {
+		t.Fatalf("completed %v", res.Completed)
+	}
+}
+
+func TestPerProcessAccounting(t *testing.T) {
+	ft := newFake(1)
+	res := Run(ft, []Process{
+		{Name: "a", Stream: mkTrace(7, 0)},
+		{Name: "b", Stream: mkTrace(3, 0)},
+	}, Config{Level: 2, TimeSlice: 2})
+	if res.PerProcess["a"] != 7 || res.PerProcess["b"] != 3 {
+		t.Fatalf("per-process counts %v, want a=7 b=3", res.PerProcess)
+	}
+}

@@ -1,0 +1,39 @@
+// Package sim ties the pieces together: it runs a multiprogrammed
+// workload (scheduler + trace streams) against one configured memory
+// system (core.System) and returns both the cache statistics and the
+// scheduling statistics.
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Result bundles the outcome of one simulation run.
+type Result struct {
+	Stats core.Stats
+	Sched sched.Result
+}
+
+// CPI returns the run's cycles per instruction.
+func (r Result) CPI() float64 { return r.Stats.CPI() }
+
+// Run simulates procs on a fresh system built from cfg.
+func Run(cfg core.Config, procs []sched.Process, scfg sched.Config) (Result, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res := sched.Run(sys, procs, scfg)
+	sys.DrainWriteBuffer()
+	return Result{Stats: sys.Stats(), Sched: res}, nil
+}
+
+// MustRun is Run for known-good configurations.
+func MustRun(cfg core.Config, procs []sched.Process, scfg sched.Config) Result {
+	r, err := Run(cfg, procs, scfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

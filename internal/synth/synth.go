@@ -1,0 +1,245 @@
+// Package synth generates statistically controlled address traces: a
+// loop-structured instruction stream plus a mixture of sequential and
+// random data references over a bounded working set. It complements the
+// emulated benchmarks (internal/progs) where the experiments need
+// precise control over locality, mix, or very long traces — the role
+// long synthetic tapes played alongside real traces in the era's cache
+// studies.
+package synth
+
+import (
+	"repro/internal/trace"
+)
+
+// Config shapes a synthetic trace.
+type Config struct {
+	// Instructions is the trace length.
+	Instructions uint64
+	// LoadFrac and StoreFrac are the fractions of instructions that
+	// load and store (e.g. 0.20 and 0.07, the suite's typical mix).
+	LoadFrac  float64
+	StoreFrac float64
+	// CodeBytes bounds the PC working set; DataBytes bounds the data
+	// working set. Both are rounded up to word multiples.
+	CodeBytes uint32
+	DataBytes uint32
+	// LoopLen is the body length (instructions) of each simulated
+	// loop; LoopReps is how many times a body repeats before control
+	// moves to a new loop. These control instruction locality.
+	LoopLen  int
+	LoopReps int
+	// SeqFrac is the fraction of data references that continue a
+	// sequential stream; HotFrac is the fraction that revisit a small
+	// hot region (stack scalars and hot structures); the rest are
+	// uniform over the working set.
+	SeqFrac float64
+	HotFrac float64
+	// HotBytes sizes the hot region (default 4 KB).
+	HotBytes uint32
+	// StoreBurst is the mean length of consecutive-store bursts
+	// (register spills at call sites, block initialization). Values
+	// below 2 leave stores independent. The overall store fraction is
+	// preserved: bursts start correspondingly less often.
+	StoreBurst int
+	// StallProb is the chance an instruction carries a 1-cycle CPU
+	// stall (load interlocks, branch bubbles); multicycle stalls are
+	// rolled in by occasionally charging 3 cycles.
+	StallProb float64
+	// SyscallEvery inserts a voluntary syscall every n instructions
+	// (0 = never).
+	SyscallEvery uint64
+	// Seed selects the deterministic pseudo-random sequence.
+	Seed uint64
+}
+
+// Generator produces the trace; it implements trace.Stream.
+type Generator struct {
+	cfg       Config
+	rng       uint64
+	produced  uint64
+	loopBase  uint32
+	loopOff   int
+	repsLeft  int
+	seqPtr    uint32
+	loadBar   uint64 // thresholds in 2^-63 fixed point
+	storeBar  uint64
+	burstLen  int
+	burstLeft int
+	burstPtr  uint32
+	seqBar    uint64
+	hotBar    uint64
+	stallBar  uint64
+	hotBytes  uint32
+	codeMask  uint32
+	dataBytes uint32
+}
+
+// codeBase/dataBase separate the regions like a real process image.
+const (
+	codeBase = 0x0040_0000
+	dataBase = 0x1000_0000
+)
+
+// New returns a generator for cfg. Zero-value fields get workable
+// defaults: a 16 KW code set, 64 KW data set, 20%/7% load/store mix,
+// 60% sequential data, loops of 24 instructions repeated 32 times.
+func New(cfg Config) *Generator {
+	if cfg.LoadFrac == 0 && cfg.StoreFrac == 0 {
+		cfg.LoadFrac, cfg.StoreFrac = 0.20, 0.07
+	}
+	if cfg.CodeBytes == 0 {
+		cfg.CodeBytes = 64 * 1024
+	}
+	if cfg.DataBytes == 0 {
+		cfg.DataBytes = 256 * 1024
+	}
+	if cfg.LoopLen <= 0 {
+		cfg.LoopLen = 24
+	}
+	if cfg.LoopReps <= 0 {
+		cfg.LoopReps = 32
+	}
+	if cfg.SeqFrac == 0 {
+		cfg.SeqFrac = 0.4
+	}
+	if cfg.HotFrac == 0 {
+		cfg.HotFrac = 0.45
+	}
+	if cfg.HotBytes == 0 {
+		cfg.HotBytes = 4 * 1024
+	}
+	if cfg.HotBytes > cfg.DataBytes {
+		cfg.HotBytes = cfg.DataBytes
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x9e3779b97f4a7c15
+	}
+	burst := cfg.StoreBurst
+	if burst < 2 {
+		burst = 1
+	}
+	g := &Generator{
+		cfg:       cfg,
+		rng:       cfg.Seed,
+		loadBar:   fix(cfg.LoadFrac),
+		storeBar:  fix(cfg.LoadFrac + cfg.StoreFrac/float64(burst)),
+		burstLen:  burst,
+		seqBar:    fix(cfg.SeqFrac),
+		hotBar:    fix(cfg.SeqFrac + cfg.HotFrac),
+		stallBar:  fix(cfg.StallProb),
+		hotBytes:  cfg.HotBytes &^ 3,
+		codeMask:  roundPow2(cfg.CodeBytes) - 1,
+		dataBytes: cfg.DataBytes &^ 3,
+	}
+	g.newLoop()
+	return g
+}
+
+// fix converts a probability to a 63-bit fixed-point threshold.
+func fix(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 63
+	}
+	return uint64(p * (1 << 63))
+}
+
+// roundPow2 rounds up to a power of two (at least 64).
+func roundPow2(v uint32) uint32 {
+	p := uint32(64)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// next63 steps the xorshift64* generator and returns 63 random bits.
+func (g *Generator) next63() uint64 {
+	g.rng ^= g.rng >> 12
+	g.rng ^= g.rng << 25
+	g.rng ^= g.rng >> 27
+	return (g.rng * 0x2545f4914f6cdd1d) >> 1
+}
+
+func (g *Generator) newLoop() {
+	g.loopBase = uint32(g.next63()) & g.codeMask &^ 3
+	g.loopOff = 0
+	g.repsLeft = g.cfg.LoopReps
+}
+
+// Next implements trace.Stream.
+func (g *Generator) Next(ev *trace.Event) bool {
+	if g.produced >= g.cfg.Instructions {
+		return false
+	}
+	g.produced++
+
+	*ev = trace.Event{PC: codeBase + (g.loopBase+uint32(g.loopOff)*4)&g.codeMask}
+	g.loopOff++
+	if g.loopOff >= g.cfg.LoopLen {
+		g.loopOff = 0
+		g.repsLeft--
+		if g.repsLeft <= 0 {
+			g.newLoop()
+		}
+	}
+
+	switch {
+	case g.burstLeft > 0:
+		g.burstLeft--
+		g.burstPtr += 4
+		if g.burstPtr >= g.hotBytes {
+			g.burstPtr = 0
+		}
+		ev.Kind = trace.Store
+		ev.Size = 4
+		ev.Data = dataBase + g.burstPtr
+	default:
+		if r := g.next63(); r < g.storeBar {
+			if r < g.loadBar {
+				ev.Kind = trace.Load
+			} else {
+				ev.Kind = trace.Store
+				if g.burstLen > 1 {
+					g.burstLeft = g.burstLen - 1
+					g.burstPtr = uint32(g.next63()) % (g.hotBytes / 4) * 4
+					ev.Data = dataBase + g.burstPtr
+					ev.Size = 4
+					break
+				}
+			}
+			ev.Size = 4
+			ev.Data = dataBase + g.dataAddr()
+		}
+	}
+
+	if r := g.next63(); r < g.stallBar {
+		ev.Stall = 1
+		if r < g.stallBar/8 {
+			ev.Stall = 3
+		}
+	}
+
+	if g.cfg.SyscallEvery > 0 && g.produced%g.cfg.SyscallEvery == 0 {
+		ev.Syscall = true
+	}
+	return true
+}
+
+func (g *Generator) dataAddr() uint32 {
+	r := g.next63()
+	switch {
+	case r < g.seqBar:
+		g.seqPtr += 4
+		if g.seqPtr >= g.dataBytes {
+			g.seqPtr = 0
+		}
+		return g.seqPtr
+	case r < g.hotBar:
+		return uint32(g.next63()) % (g.hotBytes / 4) * 4
+	default:
+		return uint32(g.next63()) % (g.dataBytes / 4) * 4
+	}
+}

@@ -1,0 +1,147 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestLengthExact(t *testing.T) {
+	g := New(Config{Instructions: 12345})
+	n := 0
+	var ev trace.Event
+	for g.Next(&ev) {
+		n++
+	}
+	if n != 12345 {
+		t.Fatalf("generated %d events, want 12345", n)
+	}
+	if g.Next(&ev) {
+		t.Fatal("stream continued past its length")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	collect := func() []trace.Event {
+		return trace.Collect(New(Config{Instructions: 5000, Seed: 7})).Events()
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+	c := trace.Collect(New(Config{Instructions: 5000, Seed: 8})).Events()
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestMixApproximatesConfig(t *testing.T) {
+	cfg := Config{Instructions: 400_000, LoadFrac: 0.25, StoreFrac: 0.10, Seed: 3}
+	c := trace.Characterize(New(cfg))
+	if got := c.LoadPercent(); math.Abs(got-25) > 1 {
+		t.Errorf("load%% = %.2f, want ~25", got)
+	}
+	if got := c.StorePercent(); math.Abs(got-10) > 1 {
+		t.Errorf("store%% = %.2f, want ~10", got)
+	}
+}
+
+func TestWorkingSetBounded(t *testing.T) {
+	cfg := Config{Instructions: 200_000, DataBytes: 32 * 1024, CodeBytes: 8 * 1024, Seed: 5}
+	g := New(cfg)
+	var ev trace.Event
+	for g.Next(&ev) {
+		if ev.Kind != trace.None {
+			if ev.Data < dataBase || ev.Data >= dataBase+32*1024 {
+				t.Fatalf("data address %#x outside working set", ev.Data)
+			}
+		}
+		if ev.PC < codeBase || ev.PC >= codeBase+8*1024 {
+			t.Fatalf("PC %#x outside code set", ev.PC)
+		}
+	}
+}
+
+func TestSyscallCadence(t *testing.T) {
+	cfg := Config{Instructions: 10_000, SyscallEvery: 1000, Seed: 2}
+	c := trace.Characterize(New(cfg))
+	if c.Syscalls != 10 {
+		t.Fatalf("syscalls = %d, want 10", c.Syscalls)
+	}
+}
+
+func TestStallProbability(t *testing.T) {
+	cfg := Config{Instructions: 300_000, StallProb: 0.3, Seed: 4}
+	c := trace.Characterize(New(cfg))
+	perInstr := float64(c.StallCycles) / float64(c.Instructions)
+	// 30% stall 1, of which 1/8 are 3 cycles: expectation ~0.375.
+	if perInstr < 0.3 || perInstr > 0.45 {
+		t.Fatalf("stall cycles per instruction = %.3f, want ~0.375", perInstr)
+	}
+	zero := trace.Characterize(New(Config{Instructions: 1000, Seed: 4}))
+	if zero.StallCycles != 0 {
+		t.Fatalf("default config has stalls: %d", zero.StallCycles)
+	}
+}
+
+func TestSequentialFractionShowsLocality(t *testing.T) {
+	// A fully sequential generator touches addresses in order; a fully
+	// random one does not. Compare successive-delta behaviour.
+	seqHits := func(seqFrac float64) int {
+		g := New(Config{Instructions: 50_000, SeqFrac: seqFrac, Seed: 11, LoadFrac: 0.5, StoreFrac: 0.001})
+		var ev trace.Event
+		var last uint32
+		hits := 0
+		for g.Next(&ev) {
+			if ev.Kind == trace.Load {
+				if ev.Data == last+4 {
+					hits++
+				}
+				last = ev.Data
+			}
+		}
+		return hits
+	}
+	if s, r := seqHits(0.95), seqHits(0.0001); s < r*5 {
+		t.Fatalf("sequential fraction has no effect: seq=%d rand=%d", s, r)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	g := New(Config{Instructions: 20_000, Seed: 9})
+	var ev trace.Event
+	for g.Next(&ev) {
+		if ev.PC%4 != 0 {
+			t.Fatalf("unaligned PC %#x", ev.PC)
+		}
+		if ev.Kind != trace.None && ev.Data%4 != 0 {
+			t.Fatalf("unaligned data %#x", ev.Data)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := New(Config{Instructions: 10})
+	if g.cfg.LoadFrac == 0 || g.cfg.DataBytes == 0 || g.cfg.LoopLen == 0 {
+		t.Fatalf("defaults not applied: %+v", g.cfg)
+	}
+}
+
+func TestRoundPow2(t *testing.T) {
+	for _, tt := range []struct{ in, want uint32 }{
+		{1, 64}, {64, 64}, {65, 128}, {100_000, 131072},
+	} {
+		if got := roundPow2(tt.in); got != tt.want {
+			t.Errorf("roundPow2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package trace
+
+import "fmt"
+
+// Characterization summarizes a benchmark trace with the columns of the
+// paper's Table 1: instruction count, load and store fractions, and the
+// number of voluntary system calls.
+type Characterization struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Syscalls     uint64
+	StallCycles  uint64
+	// Footprint statistics, useful when sizing caches against a workload.
+	CodePages uint64 // distinct 16 KB instruction pages touched
+	DataPages uint64 // distinct 16 KB data pages touched
+}
+
+// pageShift matches the target machine's 4 KW (16 KB) page size.
+const pageShift = 14
+
+// Characterize consumes s and returns its summary.
+func Characterize(s Stream) Characterization {
+	var c Characterization
+	codePages := make(map[uint32]struct{})
+	dataPages := make(map[uint32]struct{})
+	var ev Event
+	for s.Next(&ev) {
+		c.Instructions++
+		c.StallCycles += uint64(ev.Stall)
+		codePages[ev.PC>>pageShift] = struct{}{}
+		switch ev.Kind {
+		case Load:
+			c.Loads++
+			dataPages[ev.Data>>pageShift] = struct{}{}
+		case Store:
+			c.Stores++
+			dataPages[ev.Data>>pageShift] = struct{}{}
+		}
+		if ev.Syscall {
+			c.Syscalls++
+		}
+	}
+	c.CodePages = uint64(len(codePages))
+	c.DataPages = uint64(len(dataPages))
+	return c
+}
+
+// LoadPercent returns loads as a percentage of instructions.
+func (c Characterization) LoadPercent() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(c.Loads) / float64(c.Instructions)
+}
+
+// StorePercent returns stores as a percentage of instructions.
+func (c Characterization) StorePercent() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 100 * float64(c.Stores) / float64(c.Instructions)
+}
+
+// BaseCPI returns the no-memory-system CPI implied by the trace's CPU
+// stalls (the paper's 1.238 horizontal axis for its workload).
+func (c Characterization) BaseCPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return 1 + float64(c.StallCycles)/float64(c.Instructions)
+}
+
+// String formats the characterization as one row in the style of Table 1.
+func (c Characterization) String() string {
+	return fmt.Sprintf("%d instructions, %.1f%% loads, %.1f%% stores, %d syscalls",
+		c.Instructions, c.LoadPercent(), c.StorePercent(), c.Syscalls)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCharacterizeCounts(t *testing.T) {
+	events := []Event{
+		{PC: 0, Kind: None, Stall: 1},
+		{PC: 4, Kind: Load, Data: 0x10000, Size: 4},
+		{PC: 8, Kind: Load, Data: 0x20000, Size: 4, Stall: 1},
+		{PC: 12, Kind: Store, Data: 0x10004, Size: 4},
+		{PC: 16, Kind: None, Syscall: true},
+	}
+	c := Characterize(NewMemTrace(events))
+	if c.Instructions != 5 {
+		t.Errorf("Instructions = %d, want 5", c.Instructions)
+	}
+	if c.Loads != 2 {
+		t.Errorf("Loads = %d, want 2", c.Loads)
+	}
+	if c.Stores != 1 {
+		t.Errorf("Stores = %d, want 1", c.Stores)
+	}
+	if c.Syscalls != 1 {
+		t.Errorf("Syscalls = %d, want 1", c.Syscalls)
+	}
+	if c.StallCycles != 2 {
+		t.Errorf("StallCycles = %d, want 2", c.StallCycles)
+	}
+	if got, want := c.LoadPercent(), 40.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LoadPercent = %g, want %g", got, want)
+	}
+	if got, want := c.StorePercent(), 20.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("StorePercent = %g, want %g", got, want)
+	}
+	if got, want := c.BaseCPI(), 1.4; math.Abs(got-want) > 1e-9 {
+		t.Errorf("BaseCPI = %g, want %g", got, want)
+	}
+}
+
+func TestCharacterizePages(t *testing.T) {
+	// Two distinct code pages, three distinct data pages (16 KB pages).
+	events := []Event{
+		{PC: 0x0000},
+		{PC: 0x4000},
+		{PC: 0x4004, Kind: Load, Data: 0x0000, Size: 4},
+		{PC: 0x4008, Kind: Load, Data: 0x4000, Size: 4},
+		{PC: 0x400c, Kind: Store, Data: 0x8000, Size: 4},
+		{PC: 0x4010, Kind: Store, Data: 0x8004, Size: 4},
+	}
+	c := Characterize(NewMemTrace(events))
+	if c.CodePages != 2 {
+		t.Errorf("CodePages = %d, want 2", c.CodePages)
+	}
+	if c.DataPages != 3 {
+		t.Errorf("DataPages = %d, want 3", c.DataPages)
+	}
+}
+
+func TestCharacterizeEmpty(t *testing.T) {
+	c := Characterize(NewMemTrace(nil))
+	if c.Instructions != 0 || c.LoadPercent() != 0 || c.StorePercent() != 0 || c.BaseCPI() != 0 {
+		t.Errorf("empty characterization not zeroed: %+v", c)
+	}
+}
+
+func TestCharacterizationString(t *testing.T) {
+	c := Characterization{Instructions: 100, Loads: 20, Stores: 7, Syscalls: 3}
+	s := c.String()
+	for _, want := range []string{"100 instructions", "20.0% loads", "7.0% stores", "3 syscalls"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}

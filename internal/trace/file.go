@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace-file format ("GTRC"):
+//
+//	header:  4-byte magic "GTRC" | uint16 version | uint16 reserved |
+//	         uint64 event count
+//	records: 12 bytes each, little endian:
+//	         uint32 PC | uint32 Data | uint8 Kind | uint8 Size |
+//	         uint8 Stall | uint8 flags (bit 0: syscall)
+//
+// The format is deliberately fixed-width so files can be sampled and
+// seeked without decoding, like pixie trace tapes.
+
+const (
+	fileMagic   = "GTRC"
+	fileVersion = 1
+	recordBytes = 12
+	headerBytes = 16
+)
+
+const flagSyscall = 1 << 0
+
+// ErrBadFormat is returned when a trace file fails header or record
+// validation.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer streams events into an io.Writer in the binary trace format.
+// Close must be called to flush buffered records and to back-patch the
+// event count when the underlying writer supports seeking.
+type Writer struct {
+	w     *bufio.Writer
+	seek  io.WriteSeeker // nil if the destination cannot seek
+	count uint64
+	rec   [recordBytes]byte
+	err   error
+}
+
+// NewWriter writes a trace header to w and returns a Writer. If w also
+// implements io.WriteSeeker the event count in the header is finalized on
+// Close; otherwise the count is written as zero and readers fall back to
+// reading until EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		tw.seek = ws
+	}
+	var hdr [headerBytes]byte
+	copy(hdr[:4], fileMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], fileVersion)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Write appends one event to the file.
+func (tw *Writer) Write(ev Event) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	r := tw.rec[:]
+	binary.LittleEndian.PutUint32(r[0:4], ev.PC)
+	binary.LittleEndian.PutUint32(r[4:8], ev.Data)
+	r[8] = uint8(ev.Kind)
+	r[9] = ev.Size
+	r[10] = ev.Stall
+	var flags uint8
+	if ev.Syscall {
+		flags |= flagSyscall
+	}
+	r[11] = flags
+	if _, err := tw.w.Write(r); err != nil {
+		tw.err = err
+		return err
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Close flushes buffered records and, when possible, back-patches the
+// event count in the header.
+func (tw *Writer) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.w.Flush(); err != nil {
+		tw.err = err
+		return err
+	}
+	if tw.seek != nil {
+		if _, err := tw.seek.Seek(8, io.SeekStart); err != nil {
+			tw.err = err
+			return err
+		}
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], tw.count)
+		if _, err := tw.seek.Write(n[:]); err != nil {
+			tw.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader decodes a binary trace file as a Stream.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // events remaining per header; ^0 means "until EOF"
+	rec   [recordBytes]byte
+	err   error
+}
+
+// NewReader validates the header of r and returns a streaming Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerBytes]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != fileMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count == 0 {
+		count = ^uint64(0)
+	}
+	return &Reader{r: br, count: count}, nil
+}
+
+// Err returns the first error encountered while reading records, if any.
+// A clean end of trace leaves Err nil.
+func (tr *Reader) Err() error { return tr.err }
+
+// Next implements Stream.
+func (tr *Reader) Next(ev *Event) bool {
+	if tr.err != nil || tr.count == 0 {
+		return false
+	}
+	if _, err := io.ReadFull(tr.r, tr.rec[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("trace: reading record: %w", err)
+		} else if tr.count != ^uint64(0) {
+			tr.err = fmt.Errorf("trace: truncated file: %w", io.ErrUnexpectedEOF)
+		}
+		tr.count = 0
+		return false
+	}
+	r := tr.rec[:]
+	ev.PC = binary.LittleEndian.Uint32(r[0:4])
+	ev.Data = binary.LittleEndian.Uint32(r[4:8])
+	ev.Kind = Kind(r[8])
+	ev.Size = r[9]
+	ev.Stall = r[10]
+	ev.Syscall = r[11]&flagSyscall != 0
+	if tr.count != ^uint64(0) {
+		tr.count--
+	}
+	return true
+}
+
+// WriteAll writes every event of s to w in trace-file format and returns
+// the number of events written.
+func WriteAll(w io.Writer, s Stream) (uint64, error) {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	var ev Event
+	for s.Next(&ev) {
+		if err := tw.Write(ev); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Close()
+}
+
+// ReadAll decodes an entire trace file into a MemTrace.
+func ReadAll(r io.Reader) (*MemTrace, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := Collect(tr)
+	if tr.Err() != nil {
+		return nil, tr.Err()
+	}
+	return t, nil
+}
