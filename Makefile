@@ -1,0 +1,32 @@
+# Development targets. `make verify` is the pre-commit gate: it must
+# pass before any change lands.
+
+GO ?= go
+
+.PHONY: all build test bench verify fuzz sweep
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# verify: static checks, a full build, the test suite under the race
+# detector, and a short fuzz smoke over the trace-file reader.
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=10s ./internal/trace
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=5m ./internal/trace
+
+# sweep: regenerate every table and figure, fault-tolerantly.
+sweep:
+	$(GO) run ./cmd/sweep -exp all -jobs 4 -keep-going -manifest sweep-manifest.json

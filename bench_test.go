@@ -138,8 +138,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	const cap = 1_000_000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := sim.MustRun(core.Base(), workload.ReplayProcesses(rec),
+		res, err := sim.Run(core.Base(), workload.ReplayProcesses(rec),
 			sched.Config{MaxInstructions: cap})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if res.Stats.Instructions != cap {
 			b.Fatal("short run")
 		}
@@ -177,10 +180,15 @@ func BenchmarkSynthThroughput(b *testing.B) {
 // a synthetic stream, the simulator's innermost loop.
 func BenchmarkSystemStep(b *testing.B) {
 	events := trace.Collect(synth.New(synth.Config{Instructions: 100_000, Seed: 7})).Events()
-	sys := core.MustNewSystem(core.Base())
+	sys, err := core.NewSystem(core.Base())
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := &events[i%len(events)]
-		sys.Step(1, ev)
+		if err := sys.Step(1, ev); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

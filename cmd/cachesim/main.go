@@ -37,6 +37,7 @@ func run() error {
 		scale     = flag.Int("scale", 1, "workload scale factor")
 		maxInstr  = flag.Uint64("max", 0, "stop after this many instructions (0 = all)")
 		traceFile = flag.String("trace", "", "simulate a single recorded trace file instead of the suite")
+		selfCheck = flag.Uint64("selfcheck", 0, "verify simulator invariants every N cycles (0 = off)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cfg.SelfCheck = *selfCheck
 
 	var procs []sched.Process
 	if *traceFile != "" {

@@ -1,8 +1,14 @@
 // Command sweep runs the paper's experiments and prints paper-style
 // tables. With no -exp flag it runs everything in paper order.
+//
+// The run is driven by internal/harness: experiments execute on a
+// bounded worker pool, a panic or error in one configuration is
+// captured as a structured failure instead of killing the sweep, and
+// -manifest records a machine-readable JSON log of the whole run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -10,35 +16,55 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/report"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or comma list; 'all' runs everything; 'list' prints ids")
-	scale := flag.Int("scale", 1, "workload scale factor")
-	level := flag.Int("level", 0, "multiprogramming level (0 = paper default 8)")
-	maxInstr := flag.Uint64("max", 0, "cap instructions per configuration run (0 = full suite)")
-	csvDir := flag.String("csv", "", "also export figure data as CSV files into this directory")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp       = flag.String("exp", "all", "experiment id or comma list; 'all' runs everything; 'list' prints ids")
+		scale     = flag.Int("scale", 1, "workload scale factor")
+		level     = flag.Int("level", 0, "multiprogramming level (0 = paper default 8)")
+		maxInstr  = flag.Uint64("max", 0, "cap instructions per configuration run (0 = full suite)")
+		csvDir    = flag.String("csv", "", "also export figure data as CSV files into this directory")
+		jobs      = flag.Int("jobs", 1, "experiments to run concurrently")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit per experiment attempt (0 = none)")
+		retries   = flag.Int("retries", 0, "retry a failed experiment this many times")
+		keepGoing = flag.Bool("keep-going", false, "run remaining experiments after one fails")
+		manifest  = flag.String("manifest", "", "write a JSON run manifest to this file")
+		selfCheck = flag.Uint64("selfcheck", 0, "verify simulator invariants every N cycles (0 = off)")
+	)
 	flag.Parse()
 
-	opt := experiments.Options{Scale: *scale, Level: *level, MaxInstructions: *maxInstr}
+	opt := experiments.Options{
+		Scale:           *scale,
+		Level:           *level,
+		MaxInstructions: *maxInstr,
+		SelfCheck:       *selfCheck,
+	}
 	if *exp == "list" {
 		for _, e := range experiments.Registry() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
-		return
+		return nil
 	}
 	if *csvDir != "" {
 		files, err := report.ExportAll(*csvDir, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "csv export:", err)
-			os.Exit(1)
+			return fmt.Errorf("csv export: %w", err)
 		}
 		for _, f := range files {
 			fmt.Println("wrote", f)
 		}
 		if *exp == "" {
-			return
+			return nil
 		}
 	}
 	var list []experiments.Experiment
@@ -48,19 +74,50 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			list = append(list, e)
 		}
 	}
-	for _, e := range list {
-		start := time.Now()
-		out, err := e.Run(opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+
+	specs := make([]harness.Spec, len(list))
+	for i, e := range list {
+		run := e.Run
+		specs[i] = harness.Spec{
+			ID:    e.ID,
+			Title: e.Title,
+			// Experiments are compute-bound and don't poll ctx; the
+			// harness abandons an attempt that outlives its deadline.
+			Run: func(ctx context.Context) (string, error) { return run(opt) },
 		}
-		fmt.Printf("== %s — %s (%.1fs)\n%s\n", e.ID, e.Title, time.Since(start).Seconds(), out)
 	}
+
+	m, runErr := harness.Run(specs, harness.Options{
+		Workers:   *jobs,
+		Timeout:   *timeout,
+		Retries:   *retries,
+		Backoff:   time.Second,
+		KeepGoing: *keepGoing,
+		OnResult: func(r harness.Result) {
+			switch r.Status {
+			case harness.StatusOK:
+				fmt.Printf("== %s — %s (%.1fs)\n%s\n", r.ID, r.Title, r.Seconds, r.Output)
+			case harness.StatusFailed:
+				fmt.Fprintf(os.Stderr, "== %s — FAILED after %d attempt(s) (%.1fs): %v\n",
+					r.ID, r.Attempts, r.Seconds, r.Err)
+				if r.Err != nil && r.Err.Stack != "" {
+					fmt.Fprintln(os.Stderr, r.Err.Stack)
+				}
+			case harness.StatusSkipped:
+				fmt.Fprintf(os.Stderr, "== %s — skipped (earlier failure)\n", r.ID)
+			}
+		},
+	})
+	if *manifest != "" {
+		if err := m.WriteFile(*manifest); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *manifest)
+	}
+	return runErr
 }

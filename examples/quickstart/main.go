@@ -30,10 +30,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run the whole program as process 1 and read the statistics.
-	stats := sys.Run(1, cpu)
-	if cpu.Err() != nil {
-		log.Fatal(cpu.Err())
+	// Run the whole program as process 1 and read the statistics. Run
+	// surfaces both model faults and emulator errors (cpu.Err).
+	stats, err := sys.Run(1, cpu)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("%s: %s\n", bench.Name, bench.Description)

@@ -53,9 +53,8 @@ func main() {
 
 	// Replay the full tape and a 1-in-4 windowed sample against the
 	// base architecture.
-	full := core.MustNewSystem(core.Base()).Run(1, tape.Clone())
-	sampled := core.MustNewSystem(core.Base()).
-		Run(1, trace.Window(tape.Clone(), 25_000, 100_000))
+	full := replay(tape.Clone())
+	sampled := replay(trace.Window(tape.Clone(), 25_000, 100_000))
 
 	fmt.Printf("\n%-22s %12s %12s %12s\n", "", "L1-D miss", "L2 miss", "CPI")
 	fmt.Printf("%-22s %12.4f %12.4f %12.3f\n", "full tape", full.L1DMissRatio(), full.L2MissRatio(), full.CPI())
@@ -64,4 +63,17 @@ func main() {
 	fmt.Println(" the cold-start bias the era's long-trace papers warned about)")
 
 	os.Remove(path)
+}
+
+// replay runs one stream through a fresh base-architecture system.
+func replay(src trace.Stream) core.Stats {
+	sys, err := core.NewSystem(core.Base())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := sys.Run(1, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return stats
 }

@@ -45,8 +45,14 @@ func main() {
 				cfg.WBEntries, cfg.WBEntryWords = 8, 1
 			}
 			cfg.L2U.Timing = core.TimingForAccess(t)
-			sys := core.MustNewSystem(cfg)
-			stats := sys.Run(1, bench.NewCPU(1))
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := sys.Run(1, bench.NewCPU(1))
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf(" %8.3f", stats.CPI())
 		}
 		fmt.Println()

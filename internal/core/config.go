@@ -209,6 +209,13 @@ type Config struct {
 	// counted regardless.
 	TLBMissPenalty int
 	MMU            mmu.Config
+
+	// SelfCheck runs CheckInvariants every N cycles during Step (0 =
+	// never). Long sweeps enable it to catch model-state corruption as
+	// an InvariantError near the offending cycle instead of silently
+	// producing wrong CPIs; sim.Run also checks once after the final
+	// write-buffer drain.
+	SelfCheck uint64
 }
 
 // Base returns the paper's baseline architecture (Section 2): 4 KW
@@ -315,6 +322,9 @@ func (c *Config) Validate() error {
 	}
 	if c.WritePolicy == WriteBack && c.LoadsPassStores != LPSNone {
 		return fmt.Errorf("core: loads-pass-stores schemes apply to write-through policies only")
+	}
+	if err := c.MMU.Validate(); err != nil {
+		return fmt.Errorf("core: MMU: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for model faults. A System that hits one of these is
+// faulted: the error is latched, Step returns it on every subsequent
+// call, and no further state changes are made, so a sweep harness can
+// report the failing configuration and carry on with the rest.
+var (
+	// ErrWriteBufferOverflow reports a push into a full write buffer.
+	// The enqueue path stalls deterministically for a free slot, so this
+	// can only arise from a model bug or corrupted state.
+	ErrWriteBufferOverflow = errors.New("core: write buffer overflow")
+
+	// ErrInvariant is the class of all runtime self-check failures.
+	// Match with errors.Is; the concrete *InvariantError carries the
+	// cycle and address context.
+	ErrInvariant = errors.New("core: invariant violation")
+)
+
+// InvariantError reports a failed runtime self-check with enough
+// context to localize the corruption: which check, at what cycle, and —
+// for per-line checks — the byte address of the offending line.
+type InvariantError struct {
+	Check  string // short name of the failed check, e.g. "l1d-dirty-bit"
+	Cycle  uint64 // simulation cycle at which the check ran
+	Addr   uint64 // byte address of the offending line, 0 if not address-specific
+	Detail string // human-readable description of the violation
+}
+
+// Error implements error.
+func (e *InvariantError) Error() string {
+	if e.Addr != 0 {
+		return fmt.Sprintf("core: invariant %s violated at cycle %d, addr %#x: %s",
+			e.Check, e.Cycle, e.Addr, e.Detail)
+	}
+	return fmt.Sprintf("core: invariant %s violated at cycle %d: %s",
+		e.Check, e.Cycle, e.Detail)
+}
+
+// Is reports membership in the ErrInvariant class for errors.Is.
+func (e *InvariantError) Is(target error) bool { return target == ErrInvariant }

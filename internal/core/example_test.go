@@ -21,7 +21,10 @@ func ExampleNewSystem() {
 		{PC: 0x1008, Kind: trace.Store, Data: 0x8000, Size: 4},
 		{PC: 0x100c, Kind: trace.Load, Data: 0x8000, Size: 4},
 	}
-	stats := sys.Run(1, trace.NewMemTrace(events))
+	stats, err := sys.Run(1, trace.NewMemTrace(events))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("instructions %d, L1-I misses %d, L1-D read misses %d, write hits cost %d cycle\n",
 		stats.Instructions, stats.L1IMisses, stats.L1DReadMisses,
 		stats.Stalls[core.CauseL1Write])

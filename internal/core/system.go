@@ -32,6 +32,8 @@ type System struct {
 	now          uint64
 	memBusyUntil uint64 // main-memory occupancy from dirty-buffer drains
 	flushBarrier uint64 // dirty-bit scheme: L2-D fetches wait past this
+	nextCheck    uint64 // next self-check cycle when cfg.SelfCheck > 0
+	fault        error  // first model fault; latched, Step refuses to run past it
 	stats        Stats
 }
 
@@ -40,9 +42,13 @@ func NewSystem(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	m, err := mmu.New(cfg.MMU)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		cfg:           cfg,
-		mmu:           mmu.New(cfg.MMU),
+		mmu:           m,
 		l1i:           newCache(cfg.L1I),
 		l1d:           newCache(cfg.L1D),
 		l1iFetchBytes: uint64(cfg.l1iFetch() * trace.WordBytes),
@@ -66,18 +72,22 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// MustNewSystem is NewSystem that panics on configuration errors, for
-// experiment tables built from known-good configurations.
-func MustNewSystem(cfg Config) *System {
-	s, err := NewSystem(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // Config returns the configuration the system was built with.
 func (s *System) Config() Config { return s.cfg }
+
+// Err returns the latched model fault, or nil. Once a fault is
+// recorded (a write-buffer overflow, a failed invariant check) the
+// system refuses further work: every subsequent Step returns the same
+// error, so partial statistics remain attributable to the cycles that
+// ran before the fault.
+func (s *System) Err() error { return s.fault }
+
+// fail latches the first model fault.
+func (s *System) fail(err error) {
+	if s.fault == nil && err != nil {
+		s.fault = err
+	}
+}
 
 // Now returns the current cycle.
 func (s *System) Now() uint64 { return s.now }
@@ -110,8 +120,13 @@ func (s *System) stallUntil(cause Cause, target uint64) {
 	}
 }
 
-// Step simulates one instruction of process pid.
-func (s *System) Step(pid mmu.PID, ev *trace.Event) {
+// Step simulates one instruction of process pid. A non-nil error means
+// the model faulted (write-buffer overflow, failed self-check); the
+// fault is latched, so retrying the Step returns the same error.
+func (s *System) Step(pid mmu.PID, ev *trace.Event) error {
+	if s.fault != nil {
+		return s.fault
+	}
 	s.stats.Instructions++
 	s.now++ // issue cycle
 	if ev.Stall > 0 {
@@ -125,17 +140,28 @@ func (s *System) Step(pid mmu.PID, ev *trace.Event) {
 		s.store(pid, ev.Data, ev.Size)
 	}
 	s.wb.popCompleted(s.now)
+	if s.cfg.SelfCheck > 0 && s.now >= s.nextCheck {
+		s.nextCheck = s.now + s.cfg.SelfCheck
+		s.fail(s.CheckInvariants())
+	}
+	return s.fault
 }
 
 // Run consumes an entire single-process stream (convenience for tests,
-// examples, and single-program simulations).
-func (s *System) Run(pid mmu.PID, src trace.Stream) Stats {
+// examples, and single-program simulations). The returned statistics
+// cover the instructions that ran, even when the run ends in an error.
+func (s *System) Run(pid mmu.PID, src trace.Stream) (Stats, error) {
 	var ev trace.Event
 	for src.Next(&ev) {
-		s.Step(pid, &ev)
+		if err := s.Step(pid, &ev); err != nil {
+			return s.Stats(), err
+		}
+	}
+	if err := trace.StreamErr(src); err != nil {
+		return s.Stats(), err
 	}
 	s.DrainWriteBuffer()
-	return s.Stats()
+	return s.Stats(), s.fault
 }
 
 // DrainWriteBuffer retires all pending writes without charging CPU
@@ -256,7 +282,10 @@ func (s *System) enqueueWrite(addr, bytes uint64) {
 		if w < 1 {
 			w = 1 // partial-word store still occupies a one-word entry
 		}
-		s.wb.push(addr+off, w, s.now)
+		if err := s.wb.push(addr+off, w, s.now); err != nil {
+			s.fail(err)
+			return
+		}
 		s.stats.WBEnqueues++
 	}
 }

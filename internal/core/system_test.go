@@ -412,7 +412,10 @@ func TestRunConsumesStream(t *testing.T) {
 		{PC: 0x1004, Kind: trace.Store, Data: 0x8000, Size: 4},
 		{PC: 0x1008, Kind: trace.Load, Data: 0x8000, Size: 4},
 	}
-	st := s.Run(pid, trace.NewMemTrace(events))
+	st, err := s.Run(pid, trace.NewMemTrace(events))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if st.Instructions != 3 {
 		t.Fatalf("instructions = %d, want 3", st.Instructions)
 	}
@@ -421,15 +424,12 @@ func TestRunConsumesStream(t *testing.T) {
 	}
 }
 
-func TestMustNewSystemPanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustNewSystem accepted a bad config")
-		}
-	}()
+func TestNewSystemRejectsBadConfig(t *testing.T) {
 	bad := Base()
 	bad.L1I.SizeWords = 0
-	MustNewSystem(bad)
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("NewSystem accepted a bad config")
+	}
 }
 
 func TestStatsAccessors(t *testing.T) {

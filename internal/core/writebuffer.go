@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // wbEntry is one pending write: addr/words describe the L2-D write, enq
 // is the cycle it entered the buffer, and complete is its lazily
 // computed drain-completion cycle (0 = not yet computed; a computed
@@ -37,12 +39,16 @@ func newWriteBuffer(capacity int, overlap uint64, service serviceFunc) *writeBuf
 func (wb *writeBuffer) len() int   { return len(wb.q) }
 func (wb *writeBuffer) full() bool { return len(wb.q) >= wb.capacity }
 
-// push appends an entry. The caller must have ensured a free slot.
-func (wb *writeBuffer) push(addr uint64, words int, enq uint64) {
+// push appends an entry. The caller must have ensured a free slot;
+// pushing into a full buffer returns ErrWriteBufferOverflow without
+// modifying the queue.
+func (wb *writeBuffer) push(addr uint64, words int, enq uint64) error {
 	if wb.full() {
-		panic("core: write buffer overflow")
+		return fmt.Errorf("%w: %d/%d entries at cycle %d, addr %#x",
+			ErrWriteBufferOverflow, len(wb.q), wb.capacity, enq, addr)
 	}
 	wb.q = append(wb.q, wbEntry{addr: addr, words: words, enq: enq})
+	return nil
 }
 
 // ensureComplete computes completion times for entries [0, i].

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 // constService returns a service function charging a fixed time and
 // recording drain order.
@@ -122,22 +125,43 @@ func TestWBEmptyCompletionOnEmptyBuffer(t *testing.T) {
 	}
 }
 
-func TestWBFullAndOverflowPanic(t *testing.T) {
+func TestWBFullAndOverflowError(t *testing.T) {
 	wb := newWriteBuffer(2, 2, constService(6, nil))
-	wb.push(0, 1, 0)
+	if err := wb.push(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
 	if wb.full() {
 		t.Fatal("buffer full after one of two entries")
 	}
-	wb.push(4, 1, 0)
+	if err := wb.push(4, 1, 0); err != nil {
+		t.Fatal(err)
+	}
 	if !wb.full() {
 		t.Fatal("buffer not full at capacity")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("push past capacity did not panic")
-		}
-	}()
-	wb.push(8, 1, 0)
+	if err := wb.push(8, 1, 0); !errors.Is(err, ErrWriteBufferOverflow) {
+		t.Fatalf("push past capacity = %v, want ErrWriteBufferOverflow", err)
+	}
+	if wb.len() != 2 {
+		t.Fatalf("failed push mutated the queue: %d entries", wb.len())
+	}
+}
+
+// TestWBOverflowRegression overflows a 1-entry buffer end to end: the
+// second push must surface ErrWriteBufferOverflow, not panic and not
+// silently drop the write.
+func TestWBOverflowRegression(t *testing.T) {
+	wb := newWriteBuffer(1, 0, constService(1_000, nil))
+	if err := wb.push(0x100, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := wb.push(0x200, 1, 2)
+	if !errors.Is(err, ErrWriteBufferOverflow) {
+		t.Fatalf("overflowing a 1-entry buffer = %v, want ErrWriteBufferOverflow", err)
+	}
+	if wb.len() != 1 {
+		t.Fatalf("queue length %d after rejected push, want 1", wb.len())
+	}
 }
 
 func TestWBMatchCompletion(t *testing.T) {

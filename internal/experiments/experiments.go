@@ -37,6 +37,9 @@ type Options struct {
 	// MaxInstructions caps each configuration run (0 = run the whole
 	// suite). Tests and benchmarks use it to bound cost.
 	MaxInstructions uint64
+	// SelfCheck, when nonzero, makes every simulated system verify its
+	// runtime invariants every N cycles (core.Config.SelfCheck).
+	SelfCheck uint64
 }
 
 func (o Options) normalized() Options {
@@ -52,25 +55,41 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// must unwraps a simulation run whose configuration is a table-driven
+// variant of the validated base architectures. Such a run can still
+// fail (a bad derived geometry, a failed self-check); the experiment
+// row builders have no error path, so the failure is raised as a panic,
+// which the sweep harness (internal/harness) converts back into a
+// structured RunError rather than killing the whole sweep. This is the
+// one sanctioned panic path in the experiments package.
+func must(res sim.Result, err error) sim.Result {
+	if err != nil {
+		panic(fmt.Errorf("experiments: %w", err))
+	}
+	return res
+}
+
 // run simulates the recorded workload on cfg under o.
 func run(cfg core.Config, o Options) sim.Result {
 	rec := workload.Record(o.Scale)
-	return sim.MustRun(cfg, workload.ReplayProcesses(rec), sched.Config{
+	cfg.SelfCheck = o.SelfCheck
+	return must(sim.Run(cfg, workload.ReplayProcesses(rec), sched.Config{
 		Level:           o.Level,
 		TimeSlice:       o.TimeSlice,
 		MaxInstructions: o.MaxInstructions,
-	})
+	}))
 }
 
 // runPaperLike simulates the paper-calibrated synthetic workload
 // (workload.PaperLike) on cfg under o.
 func runPaperLike(cfg core.Config, o Options) sim.Result {
 	perProc := uint64(400_000) * uint64(o.Scale)
-	return sim.MustRun(cfg, workload.PaperLike(o.Level, perProc), sched.Config{
+	cfg.SelfCheck = o.SelfCheck
+	return must(sim.Run(cfg, workload.PaperLike(o.Level, perProc), sched.Config{
 		Level:           o.Level,
 		TimeSlice:       o.TimeSlice,
 		MaxInstructions: o.MaxInstructions,
-	})
+	}))
 }
 
 // baseConfig is the paper's Section 2 baseline.

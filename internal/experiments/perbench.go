@@ -28,9 +28,11 @@ func PerBench(o Options) []PerBenchRow {
 	rec := workload.Record(o.Scale)
 	rows := make([]PerBenchRow, 0, len(rec))
 	for _, r := range rec {
-		res := sim.MustRun(core.Base(),
+		cfg := core.Base()
+		cfg.SelfCheck = o.SelfCheck
+		res := must(sim.Run(cfg,
 			[]sched.Process{{Name: r.Name, Stream: r.Trace.Clone()}},
-			sched.Config{Level: 1, TimeSlice: o.TimeSlice, MaxInstructions: o.MaxInstructions})
+			sched.Config{Level: 1, TimeSlice: o.TimeSlice, MaxInstructions: o.MaxInstructions}))
 		st := res.Stats
 		rows = append(rows, PerBenchRow{
 			Name:    r.Name,

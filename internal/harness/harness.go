@@ -1,0 +1,266 @@
+// Package harness runs a batch of independent experiments with the
+// fault tolerance a multi-hour sweep needs: a bounded worker pool,
+// per-attempt timeouts, panic recovery, retry with backoff, and a
+// machine-readable manifest of what ran, what failed, and why.
+//
+// The unit of work is a Spec — an ID plus a Run function. A failure in
+// one job (an error return, a panic, a hung run) is captured as a
+// structured RunError on that job's Result; it never takes down the
+// process, and in keep-going mode it does not stop the other jobs.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Spec is one schedulable job.
+type Spec struct {
+	ID    string // short stable identifier, e.g. an experiment id
+	Title string // human-readable description
+	// Run does the work. It should honor ctx cancellation at its
+	// convenience; the harness does not rely on it (a run that ignores
+	// ctx is abandoned on timeout, not leaked into the results).
+	Run func(ctx context.Context) (string, error)
+}
+
+// Options configures a Run.
+type Options struct {
+	Workers   int           // concurrent jobs; <=0 means 1
+	Timeout   time.Duration // per-attempt wall-clock limit; 0 = none
+	Retries   int           // extra attempts after a failed first one
+	Backoff   time.Duration // wait before attempt n+1, doubling each retry
+	KeepGoing bool          // run remaining jobs after a failure (else fail fast)
+	OnResult  func(Result)  // called serially as each job finishes
+}
+
+// ErrorKind classifies how an attempt failed.
+type ErrorKind string
+
+const (
+	KindError    ErrorKind = "error"    // Run returned a non-nil error
+	KindPanic    ErrorKind = "panic"    // Run panicked; Stack holds the trace
+	KindTimeout  ErrorKind = "timeout"  // the per-attempt deadline expired
+	KindCanceled ErrorKind = "canceled" // fail-fast cancellation hit a running job
+)
+
+// RunError is the structured record of a failed attempt.
+type RunError struct {
+	ID      string    `json:"id"`
+	Attempt int       `json:"attempt"` // 1-based attempt that produced this error
+	Kind    ErrorKind `json:"kind"`
+	Msg     string    `json:"msg"`
+	Stack   string    `json:"stack,omitempty"` // panic stack trace
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("%s (attempt %d): %s: %s", e.ID, e.Attempt, e.Kind, e.Msg)
+}
+
+// Status is a job's final disposition.
+type Status string
+
+const (
+	StatusOK      Status = "ok"
+	StatusFailed  Status = "failed"
+	StatusSkipped Status = "skipped" // never started: an earlier job failed fail-fast
+)
+
+// Result is one job's outcome across all its attempts.
+type Result struct {
+	ID       string    `json:"id"`
+	Title    string    `json:"title"`
+	Status   Status    `json:"status"`
+	Attempts int       `json:"attempts"`
+	Seconds  float64   `json:"seconds"` // wall time across attempts, excluding backoff
+	Output   string    `json:"output,omitempty"`
+	Err      *RunError `json:"error,omitempty"` // last attempt's failure
+}
+
+// Manifest summarizes a whole Run for the JSON run log.
+type Manifest struct {
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	Jobs     int       `json:"jobs"`
+	OK       int       `json:"ok"`
+	Failed   int       `json:"failed"`
+	Skipped  int       `json:"skipped"`
+	Results  []Result  `json:"results"` // in spec order, one per job
+}
+
+// WriteFile writes the manifest as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("harness: write manifest: %w", err)
+	}
+	return nil
+}
+
+// Run executes the specs on a bounded worker pool and returns a
+// manifest with one Result per spec, in spec order. The returned error
+// is non-nil when any job failed (or was skipped by fail-fast); the
+// manifest is complete and valid either way.
+func Run(specs []Spec, o Options) (*Manifest, error) {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m := &Manifest{Started: time.Now(), Jobs: len(specs), Results: make([]Result, len(specs))}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes OnResult and the fail-fast decision
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res := runJob(ctx, specs[i], o)
+				m.Results[i] = res
+				mu.Lock()
+				if res.Status == StatusFailed && !o.KeepGoing {
+					cancel()
+				}
+				if o.OnResult != nil {
+					o.OnResult(res)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	m.Finished = time.Now()
+
+	for _, r := range m.Results {
+		switch r.Status {
+		case StatusOK:
+			m.OK++
+		case StatusFailed:
+			m.Failed++
+		case StatusSkipped:
+			m.Skipped++
+		}
+	}
+	if m.Failed > 0 || m.Skipped > 0 {
+		return m, fmt.Errorf("harness: %d of %d jobs failed, %d skipped", m.Failed, m.Jobs, m.Skipped)
+	}
+	return m, nil
+}
+
+// runJob drives one spec through its attempts.
+func runJob(ctx context.Context, s Spec, o Options) Result {
+	res := Result{ID: s.ID, Title: s.Title}
+	if ctx.Err() != nil {
+		res.Status = StatusSkipped
+		return res
+	}
+	var elapsed time.Duration
+	for a := 1; a <= 1+o.Retries; a++ {
+		res.Attempts = a
+		start := time.Now()
+		out, rerr := attempt(ctx, s, o.Timeout)
+		elapsed += time.Since(start)
+		if rerr == nil {
+			res.Status = StatusOK
+			res.Output = out
+			res.Err = nil
+			break
+		}
+		rerr.ID = s.ID
+		rerr.Attempt = a
+		res.Status = StatusFailed
+		res.Err = rerr
+		// A fail-fast cancellation from another job is not this job's
+		// fault and is not retryable.
+		if rerr.Kind == KindCanceled || a > o.Retries {
+			break
+		}
+		if !sleepCtx(ctx, o.Backoff<<uint(a-1)) {
+			break
+		}
+	}
+	res.Seconds = elapsed.Seconds()
+	return res
+}
+
+// attempt runs the spec once under the per-attempt deadline, converting
+// every failure mode into a RunError. On timeout the worker goroutine is
+// abandoned, not killed — Go offers no preemptive cancellation — so an
+// uncooperative Run keeps burning its CPU until it returns, but the
+// harness moves on and its eventual result is discarded (the result
+// channel is buffered, so the goroutine does not leak blocked forever).
+func attempt(ctx context.Context, s Spec, timeout time.Duration) (string, *RunError) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	type outcome struct {
+		out string
+		err *RunError
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: &RunError{
+					Kind:  KindPanic,
+					Msg:   fmt.Sprint(r),
+					Stack: string(debug.Stack()),
+				}}
+			}
+		}()
+		out, err := s.Run(actx)
+		if err != nil {
+			ch <- outcome{err: &RunError{Kind: KindError, Msg: err.Error()}}
+			return
+		}
+		ch <- outcome{out: out}
+	}()
+	select {
+	case o := <-ch:
+		return o.out, o.err
+	case <-actx.Done():
+		kind := KindTimeout
+		if ctx.Err() != nil { // parent canceled: fail-fast, not a deadline
+			kind = KindCanceled
+		}
+		return "", &RunError{Kind: kind, Msg: actx.Err().Error()}
+	}
+}
+
+// sleepCtx waits d unless ctx is canceled first; reports whether the
+// full wait completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

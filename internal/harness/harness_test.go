@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func okSpec(id string) Spec {
+	return Spec{ID: id, Title: id, Run: func(ctx context.Context) (string, error) {
+		return "out-" + id, nil
+	}}
+}
+
+func TestAllJobsSucceed(t *testing.T) {
+	specs := []Spec{okSpec("a"), okSpec("b"), okSpec("c")}
+	m, err := Run(specs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OK != 3 || m.Failed != 0 || m.Skipped != 0 {
+		t.Fatalf("counts: %+v", m)
+	}
+	// Results stay in spec order regardless of completion order.
+	for i, id := range []string{"a", "b", "c"} {
+		r := m.Results[i]
+		if r.ID != id || r.Status != StatusOK || r.Output != "out-"+id || r.Attempts != 1 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+}
+
+// TestPanickingJobYieldsValidManifest is the headline robustness
+// property: a panicking experiment becomes a structured failure with a
+// stack trace, the other jobs complete, and the manifest round-trips
+// through JSON.
+func TestPanickingJobYieldsValidManifest(t *testing.T) {
+	specs := []Spec{
+		okSpec("good1"),
+		{ID: "boom", Title: "panics", Run: func(ctx context.Context) (string, error) {
+			panic("injected failure")
+		}},
+		okSpec("good2"),
+	}
+	m, err := Run(specs, Options{Workers: 2, KeepGoing: true})
+	if err == nil {
+		t.Fatal("Run reported success despite a panicking job")
+	}
+	if m.OK != 2 || m.Failed != 1 || m.Skipped != 0 {
+		t.Fatalf("counts: ok %d failed %d skipped %d", m.OK, m.Failed, m.Skipped)
+	}
+	r := m.Results[1]
+	if r.Status != StatusFailed || r.Err == nil {
+		t.Fatalf("panicking job result: %+v", r)
+	}
+	if r.Err.Kind != KindPanic || !strings.Contains(r.Err.Msg, "injected failure") {
+		t.Fatalf("panic not captured: %+v", r.Err)
+	}
+	if !strings.Contains(r.Err.Stack, "harness_test.go") {
+		t.Fatal("panic stack trace missing the panic site")
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Jobs != 3 || len(back.Results) != 3 || back.Results[1].Err.Kind != KindPanic {
+		t.Fatalf("manifest did not round-trip: %+v", back)
+	}
+}
+
+func TestErrorReturnCaptured(t *testing.T) {
+	sentinel := errors.New("model fault")
+	specs := []Spec{{ID: "bad", Run: func(ctx context.Context) (string, error) {
+		return "", sentinel
+	}}}
+	m, err := Run(specs, Options{KeepGoing: true})
+	if err == nil {
+		t.Fatal("failure not reported")
+	}
+	r := m.Results[0]
+	if r.Err == nil || r.Err.Kind != KindError || !strings.Contains(r.Err.Msg, "model fault") {
+		t.Fatalf("error not captured: %+v", r.Err)
+	}
+	if r.Err.ID != "bad" || r.Err.Attempt != 1 {
+		t.Fatalf("error context: %+v", r.Err)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var calls atomic.Int32
+	specs := []Spec{{ID: "flaky", Run: func(ctx context.Context) (string, error) {
+		if calls.Add(1) < 3 {
+			return "", errors.New("transient")
+		}
+		return "recovered", nil
+	}}}
+	m, err := Run(specs, Options{Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Results[0]
+	if r.Status != StatusOK || r.Attempts != 3 || r.Output != "recovered" || r.Err != nil {
+		t.Fatalf("flaky job result: %+v", r)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int32
+	specs := []Spec{{ID: "hopeless", Run: func(ctx context.Context) (string, error) {
+		calls.Add(1)
+		return "", errors.New("always")
+	}}}
+	m, err := Run(specs, Options{Retries: 2, KeepGoing: true})
+	if err == nil {
+		t.Fatal("failure not reported")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("ran %d attempts, want 3", got)
+	}
+	if r := m.Results[0]; r.Status != StatusFailed || r.Attempts != 3 || r.Err.Attempt != 3 {
+		t.Fatalf("result: %+v", r)
+	}
+}
+
+func TestTimeoutAbandonsHungJob(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	specs := []Spec{{ID: "hung", Run: func(ctx context.Context) (string, error) {
+		<-block // ignores ctx entirely
+		return "", nil
+	}}}
+	done := make(chan struct{})
+	var m *Manifest
+	var err error
+	go func() {
+		m, err = Run(specs, Options{Timeout: 20 * time.Millisecond, KeepGoing: true})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("harness itself hung on an uncooperative job")
+	}
+	if err == nil {
+		t.Fatal("timeout not reported")
+	}
+	if r := m.Results[0]; r.Status != StatusFailed || r.Err.Kind != KindTimeout {
+		t.Fatalf("result: %+v err %+v", r, r.Err)
+	}
+}
+
+func TestFailFastSkipsRemainingJobs(t *testing.T) {
+	var ran atomic.Int32
+	specs := []Spec{
+		{ID: "first", Run: func(ctx context.Context) (string, error) {
+			return "", errors.New("fatal")
+		}},
+		{ID: "second", Run: func(ctx context.Context) (string, error) {
+			ran.Add(1)
+			return "", nil
+		}},
+		{ID: "third", Run: func(ctx context.Context) (string, error) {
+			ran.Add(1)
+			return "", nil
+		}},
+	}
+	// One worker makes the schedule deterministic: the failure lands
+	// before either later job starts.
+	m, err := Run(specs, Options{Workers: 1})
+	if err == nil {
+		t.Fatal("failure not reported")
+	}
+	if ran.Load() != 0 {
+		t.Fatal("jobs ran after a fail-fast failure")
+	}
+	if m.Failed != 1 || m.Skipped != 2 {
+		t.Fatalf("counts: failed %d skipped %d", m.Failed, m.Skipped)
+	}
+	for _, i := range []int{1, 2} {
+		if r := m.Results[i]; r.Status != StatusSkipped || r.Err != nil || r.Attempts != 0 {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+}
+
+func TestKeepGoingRunsEverything(t *testing.T) {
+	var ran atomic.Int32
+	specs := make([]Spec, 6)
+	for i := range specs {
+		id := string(rune('a' + i))
+		fail := i%2 == 0
+		specs[i] = Spec{ID: id, Run: func(ctx context.Context) (string, error) {
+			ran.Add(1)
+			if fail {
+				return "", errors.New("odd one out")
+			}
+			return id, nil
+		}}
+	}
+	m, err := Run(specs, Options{Workers: 3, KeepGoing: true})
+	if err == nil {
+		t.Fatal("failures not reported")
+	}
+	if ran.Load() != 6 {
+		t.Fatalf("ran %d jobs, want all 6", ran.Load())
+	}
+	if m.OK != 3 || m.Failed != 3 || m.Skipped != 0 {
+		t.Fatalf("counts: %+v", m)
+	}
+}
+
+func TestOnResultSerializedAndComplete(t *testing.T) {
+	var seen []string // appended under the harness's own lock
+	specs := []Spec{okSpec("a"), okSpec("b"), okSpec("c"), okSpec("d")}
+	_, err := Run(specs, Options{Workers: 4, OnResult: func(r Result) {
+		seen = append(seen, r.ID)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("OnResult called %d times, want 4", len(seen))
+	}
+}
+
+func TestRunErrorString(t *testing.T) {
+	e := &RunError{ID: "fig5", Attempt: 2, Kind: KindPanic, Msg: "boom"}
+	for _, want := range []string{"fig5", "2", "panic", "boom"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Fatalf("%q missing %q", e.Error(), want)
+		}
+	}
+}

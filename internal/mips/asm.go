@@ -70,8 +70,10 @@ func Assemble(src string) (*Program, error) {
 	return a.finish()
 }
 
-// MustAssemble is Assemble that panics on error, for the embedded
-// benchmark programs that are validated by tests.
+// MustAssemble is Assemble that panics on error. It is reserved for
+// the embedded benchmark sources in internal/progs, whose assembly is
+// exercised by the test suite: a failure here is a compile-time bug in
+// a constant program, not a runtime condition worth an error path.
 func MustAssemble(src string) *Program {
 	p, err := Assemble(src)
 	if err != nil {

@@ -89,8 +89,20 @@ type Config struct {
 	DTLBEntries int
 }
 
-// New returns an MMU with the given configuration.
-func New(cfg Config) *MMU {
+// Validate reports whether the configuration describes a buildable MMU
+// (after applying the zero-value defaults).
+func (cfg Config) Validate() error {
+	cfg = cfg.withDefaults()
+	if _, err := NewTLB(cfg.ITLBEntries, 2); err != nil {
+		return fmt.Errorf("ITLB: %w", err)
+	}
+	if _, err := NewTLB(cfg.DTLBEntries, 2); err != nil {
+		return fmt.Errorf("DTLB: %w", err)
+	}
+	return nil
+}
+
+func (cfg Config) withDefaults() Config {
 	if cfg.Colors == 0 {
 		cfg.Colors = 64
 	}
@@ -100,14 +112,28 @@ func New(cfg Config) *MMU {
 	if cfg.DTLBEntries == 0 {
 		cfg.DTLBEntries = 64
 	}
+	return cfg
+}
+
+// New returns an MMU with the given configuration.
+func New(cfg Config) (*MMU, error) {
+	cfg = cfg.withDefaults()
+	itlb, err := NewTLB(cfg.ITLBEntries, 2)
+	if err != nil {
+		return nil, fmt.Errorf("ITLB: %w", err)
+	}
+	dtlb, err := NewTLB(cfg.DTLBEntries, 2)
+	if err != nil {
+		return nil, fmt.Errorf("DTLB: %w", err)
+	}
 	return &MMU{
 		colors:   cfg.Colors,
 		coloring: cfg.Coloring,
 		pages:    make(map[uint64]uint32),
 		nextFree: make([]uint32, cfg.Colors),
-		itlb:     NewTLB(cfg.ITLBEntries, 2),
-		dtlb:     NewTLB(cfg.DTLBEntries, 2),
-	}
+		itlb:     itlb,
+		dtlb:     dtlb,
+	}, nil
 }
 
 // Colors returns the number of page colors in use.

@@ -1,12 +1,33 @@
 package mmu
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
 
+// mustMMU builds an MMU from a known-good config.
+func mustMMU(t *testing.T, cfg Config) *MMU {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+// mustTLB builds a TLB with a known-good shape.
+func mustTLB(t *testing.T, entries, ways int) *TLB {
+	t.Helper()
+	tlb, err := NewTLB(entries, ways)
+	if err != nil {
+		t.Fatalf("NewTLB: %v", err)
+	}
+	return tlb
+}
+
 func TestTranslateDeterministic(t *testing.T) {
-	m := New(Config{})
+	m := mustMMU(t, Config{})
 	p1, _ := m.TranslateD(1, 0x1234_5678)
 	p2, _ := m.TranslateD(1, 0x1234_5678)
 	if p1 != p2 {
@@ -15,7 +36,7 @@ func TestTranslateDeterministic(t *testing.T) {
 }
 
 func TestTranslatePreservesOffset(t *testing.T) {
-	m := New(Config{})
+	m := mustMMU(t, Config{})
 	vaddr := uint32(0x0123_7abc)
 	paddr, _ := m.TranslateD(3, vaddr)
 	if got, want := uint32(paddr)&OffsetMask, vaddr&OffsetMask; got != want {
@@ -24,7 +45,7 @@ func TestTranslatePreservesOffset(t *testing.T) {
 }
 
 func TestPageColoringPreservesColor(t *testing.T) {
-	m := New(Config{Colors: 64})
+	m := mustMMU(t, Config{Colors: 64})
 	const pid = PID(5)
 	for _, vaddr := range []uint32{0, 0x4000, 0x12340000, 0xffffc000, 0x8000_0004} {
 		paddr, _ := m.TranslateD(pid, vaddr)
@@ -40,7 +61,7 @@ func TestPageColoringPreservesColor(t *testing.T) {
 func TestPIDColorStagger(t *testing.T) {
 	// Identically laid out processes must not share cache colors for
 	// the same virtual page.
-	m := New(Config{Colors: 64})
+	m := mustMMU(t, Config{Colors: 64})
 	pa, _ := m.TranslateD(1, 0)
 	pb, _ := m.TranslateD(2, 0)
 	if pa>>PageShift%64 == pb>>PageShift%64 {
@@ -49,7 +70,7 @@ func TestPIDColorStagger(t *testing.T) {
 }
 
 func TestDistinctAddressSpaces(t *testing.T) {
-	m := New(Config{})
+	m := mustMMU(t, Config{})
 	pa, _ := m.TranslateD(1, 0x4000)
 	pb, _ := m.TranslateD(2, 0x4000)
 	if pa == pb {
@@ -58,7 +79,7 @@ func TestDistinctAddressSpaces(t *testing.T) {
 }
 
 func TestFramesNeverCollide(t *testing.T) {
-	m := New(Config{Colors: 4})
+	m := mustMMU(t, Config{Colors: 4})
 	seen := make(map[uint64]string)
 	for pid := PID(0); pid < 4; pid++ {
 		for vpn := uint32(0); vpn < 32; vpn++ {
@@ -74,7 +95,7 @@ func TestFramesNeverCollide(t *testing.T) {
 }
 
 func TestMappedPages(t *testing.T) {
-	m := New(Config{})
+	m := mustMMU(t, Config{})
 	m.TranslateI(1, 0)
 	m.TranslateI(1, 4) // same page
 	m.TranslateD(1, PageBytes)
@@ -88,7 +109,7 @@ func TestMappedPages(t *testing.T) {
 // structure up to the process's fixed color offset — the invariant the
 // TLB slice and the physically indexed L2 rely on.
 func TestColoringIndexPreservationProperty(t *testing.T) {
-	m := New(Config{Colors: 64})
+	m := mustMMU(t, Config{Colors: 64})
 	cacheBytes := uint64(64 * PageBytes) // 1 MB: the base 256 KW L2
 	f := func(pid uint8, vaddr uint32) bool {
 		paddr, _ := m.TranslateD(PID(pid), vaddr)
@@ -101,7 +122,7 @@ func TestColoringIndexPreservationProperty(t *testing.T) {
 }
 
 func TestTLBHitMissSequence(t *testing.T) {
-	tlb := NewTLB(4, 2) // 2 sets x 2 ways
+	tlb := mustTLB(t, 4, 2) // 2 sets x 2 ways
 	if tlb.Access(1, 0) {
 		t.Fatal("first access hit an empty TLB")
 	}
@@ -121,7 +142,7 @@ func TestTLBHitMissSequence(t *testing.T) {
 }
 
 func TestTLBLRUOrder(t *testing.T) {
-	tlb := NewTLB(2, 2) // 1 set x 2 ways
+	tlb := mustTLB(t, 2, 2) // 1 set x 2 ways
 	tlb.Access(1, 0)    // miss
 	tlb.Access(1, 1)    // miss
 	tlb.Access(1, 0)    // hit: 1 becomes LRU
@@ -135,7 +156,7 @@ func TestTLBLRUOrder(t *testing.T) {
 }
 
 func TestTLBPIDsDistinct(t *testing.T) {
-	tlb := NewTLB(4, 2)
+	tlb := mustTLB(t, 4, 2)
 	tlb.Access(1, 0)
 	if tlb.Access(2, 0) {
 		t.Fatal("vpn hit across different PIDs")
@@ -143,7 +164,7 @@ func TestTLBPIDsDistinct(t *testing.T) {
 }
 
 func TestTLBStats(t *testing.T) {
-	tlb := NewTLB(8, 2)
+	tlb := mustTLB(t, 8, 2)
 	tlb.Access(1, 0)
 	tlb.Access(1, 0)
 	tlb.Access(1, 1)
@@ -160,7 +181,7 @@ func TestTLBStats(t *testing.T) {
 }
 
 func TestTLBFlush(t *testing.T) {
-	tlb := NewTLB(4, 2)
+	tlb := mustTLB(t, 4, 2)
 	tlb.Access(1, 0)
 	tlb.Flush()
 	if tlb.Access(1, 0) {
@@ -172,20 +193,24 @@ func TestTLBShapeValidation(t *testing.T) {
 	for _, bad := range []struct{ entries, ways int }{
 		{0, 2}, {4, 0}, {5, 2}, {6, 2}, // 6/2=3 sets: not a power of two
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewTLB(%d, %d) did not panic", bad.entries, bad.ways)
-				}
-			}()
-			NewTLB(bad.entries, bad.ways)
-		}()
+		if _, err := NewTLB(bad.entries, bad.ways); !errors.Is(err, ErrBadTLBShape) {
+			t.Errorf("NewTLB(%d, %d) = %v, want ErrBadTLBShape", bad.entries, bad.ways, err)
+		}
+	}
+	// The same shapes must be rejected at MMU construction and by
+	// Config.Validate, so bad configs fail before any simulation.
+	bad := Config{ITLBEntries: 5}
+	if _, err := New(bad); !errors.Is(err, ErrBadTLBShape) {
+		t.Errorf("New with bad ITLB shape = %v, want ErrBadTLBShape", err)
+	}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTLBShape) {
+		t.Errorf("Validate with bad ITLB shape = %v, want ErrBadTLBShape", err)
 	}
 }
 
 func TestTLBPaperShapes(t *testing.T) {
-	i := NewTLB(32, 2)
-	d := NewTLB(64, 2)
+	i := mustTLB(t, 32, 2)
+	d := mustTLB(t, 64, 2)
 	if i.Entries() != 32 || i.Ways() != 2 {
 		t.Errorf("ITLB shape %dx%d", i.Entries(), i.Ways())
 	}
@@ -195,7 +220,7 @@ func TestTLBPaperShapes(t *testing.T) {
 }
 
 func TestMMUDefaultsAndString(t *testing.T) {
-	m := New(Config{})
+	m := mustMMU(t, Config{})
 	if m.Colors() != 64 {
 		t.Errorf("default colors = %d, want 64", m.Colors())
 	}

@@ -1,6 +1,13 @@
 package mmu
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTLBShape reports an unimplementable TLB organization: entries
+// must be a positive multiple of ways with a power-of-two set count.
+var ErrBadTLBShape = errors.New("mmu: bad TLB shape")
 
 // TLB is a set-associative translation lookaside buffer keyed by
 // (PID, virtual page number). Entries carry no translation payload —
@@ -38,14 +45,15 @@ const entryInvalid = ^uint64(0)
 
 // NewTLB returns a TLB with the given total entries and associativity.
 // entries must be a positive multiple of ways, and entries/ways must be
-// a power of two (true of the paper's 32x2 and 64x2 organizations).
-func NewTLB(entries, ways int) *TLB {
+// a power of two (true of the paper's 32x2 and 64x2 organizations);
+// anything else returns ErrBadTLBShape.
+func NewTLB(entries, ways int) (*TLB, error) {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
-		panic(fmt.Sprintf("mmu: bad TLB shape %d entries / %d ways", entries, ways))
+		return nil, fmt.Errorf("%w: %d entries / %d ways", ErrBadTLBShape, entries, ways)
 	}
 	sets := uint32(entries / ways)
 	if sets&(sets-1) != 0 {
-		panic(fmt.Sprintf("mmu: TLB sets %d not a power of two", sets))
+		return nil, fmt.Errorf("%w: %d sets not a power of two", ErrBadTLBShape, sets)
 	}
 	t := &TLB{
 		sets:    sets,
@@ -56,7 +64,7 @@ func NewTLB(entries, ways int) *TLB {
 	for i := range t.tags {
 		t.tags[i] = entryInvalid
 	}
-	return t
+	return t, nil
 }
 
 // Entries returns the total number of TLB entries.

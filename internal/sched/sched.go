@@ -24,8 +24,10 @@ const DefaultTimeSlice = 500_000
 // Target is the simulated system the scheduler drives. *core.System
 // satisfies it.
 type Target interface {
-	// Step simulates one instruction of process pid.
-	Step(pid mmu.PID, ev *trace.Event)
+	// Step simulates one instruction of process pid. A non-nil error
+	// means the target faulted and cannot make further progress; the
+	// scheduler stops and surfaces the error with process context.
+	Step(pid mmu.PID, ev *trace.Event) error
 	// Now returns the current cycle, used for time-slice accounting.
 	Now() uint64
 }
@@ -79,7 +81,13 @@ type process struct {
 // Run multiplexes procs onto target and returns scheduling statistics.
 // Processes beyond the multiprogramming level start, in order, as
 // earlier ones terminate.
-func Run(target Target, procs []Process, cfg Config) Result {
+//
+// A non-nil error means the run stopped early: either the target
+// faulted on a Step, or a process's trace stream failed mid-quantum (a
+// corrupt tape, a broken pipe — any Stream whose Err() reports one).
+// The Result still describes the instructions that did run, so callers
+// in keep-going mode can report partial progress.
+func Run(target Target, procs []Process, cfg Config) (Result, error) {
 	level := cfg.Level
 	if level <= 0 {
 		level = 8
@@ -121,15 +129,25 @@ func Run(target Target, procs []Process, cfg Config) Result {
 		terminated := false
 		for {
 			if !p.src.Next(&ev) {
+				if err := trace.StreamErr(p.src); err != nil {
+					res.finish(target.Now() - startCycle)
+					return res, fmt.Errorf("sched: process %q: trace stream after %d instructions: %w",
+						p.name, res.PerProcess[p.name], err)
+				}
 				terminated = true
 				break
 			}
-			target.Step(p.pid, &ev)
+			err := target.Step(p.pid, &ev)
 			res.Instructions++
 			res.PerProcess[p.name]++
+			if err != nil {
+				res.finish(target.Now() - startCycle)
+				return res, fmt.Errorf("sched: process %q at instruction %d, cycle %d: %w",
+					p.name, res.Instructions, target.Now(), err)
+			}
 			if cfg.MaxInstructions > 0 && res.Instructions >= cfg.MaxInstructions {
 				res.finish(target.Now() - startCycle)
-				return res
+				return res, nil
 			}
 			if ev.Syscall && !cfg.NoSyscallSwitch {
 				res.Switches++
@@ -153,7 +171,7 @@ func Run(target Target, procs []Process, cfg Config) Result {
 		cur++
 	}
 	res.finish(target.Now() - startCycle)
-	return res
+	return res, nil
 }
 
 func (r *Result) finish(cycles uint64) {

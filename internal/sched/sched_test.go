@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -14,17 +15,29 @@ type fakeTarget struct {
 	cyclesPer uint64
 	pids      []mmu.PID
 	pcs       []uint32
+	stepErr   error // returned by every Step when set
 }
 
 func newFake(cyclesPer uint64) *fakeTarget { return &fakeTarget{cyclesPer: cyclesPer} }
 
-func (f *fakeTarget) Step(pid mmu.PID, ev *trace.Event) {
+func (f *fakeTarget) Step(pid mmu.PID, ev *trace.Event) error {
 	f.now += f.cyclesPer
 	f.pids = append(f.pids, pid)
 	f.pcs = append(f.pcs, ev.PC)
+	return f.stepErr
 }
 
 func (f *fakeTarget) Now() uint64 { return f.now }
+
+// mustRun is Run for schedules that cannot fail.
+func mustRun(t *testing.T, target Target, procs []Process, cfg Config) Result {
+	t.Helper()
+	res, err := Run(target, procs, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
 
 // mkTrace builds a trace of n events; syscallEvery > 0 marks every k-th
 // event as a voluntary system call.
@@ -41,7 +54,7 @@ func mkTrace(n int, syscallEvery int) *trace.MemTrace {
 
 func TestAllInstructionsRun(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(10, 0)},
 		{Name: "b", Stream: mkTrace(7, 0)},
 	}, Config{Level: 2, TimeSlice: 1000})
@@ -55,7 +68,7 @@ func TestAllInstructionsRun(t *testing.T) {
 
 func TestSyscallCausesSwitch(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(4, 2)}, // syscalls at events 2 and 4
 		{Name: "b", Stream: mkTrace(4, 2)},
 	}, Config{Level: 2, TimeSlice: 1 << 40})
@@ -73,7 +86,7 @@ func TestSyscallCausesSwitch(t *testing.T) {
 
 func TestNoSyscallSwitchOption(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(4, 2)},
 		{Name: "b", Stream: mkTrace(4, 2)},
 	}, Config{Level: 2, TimeSlice: 1 << 40, NoSyscallSwitch: true})
@@ -90,7 +103,7 @@ func TestNoSyscallSwitchOption(t *testing.T) {
 
 func TestTimeSliceRotation(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(20, 0)},
 		{Name: "b", Stream: mkTrace(20, 0)},
 	}, Config{Level: 2, TimeSlice: 5})
@@ -110,7 +123,7 @@ func TestTimeSliceRotation(t *testing.T) {
 
 func TestLevelLimitsConcurrency(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(3, 1)}, // syscall every instruction
 		{Name: "b", Stream: mkTrace(3, 1)},
 		{Name: "c", Stream: mkTrace(3, 1)},
@@ -143,7 +156,7 @@ func TestLevelLimitsConcurrency(t *testing.T) {
 
 func TestCompletionOrderRecorded(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "long", Stream: mkTrace(10, 1)},
 		{Name: "short", Stream: mkTrace(2, 1)},
 	}, Config{Level: 2, TimeSlice: 1 << 40})
@@ -154,7 +167,7 @@ func TestCompletionOrderRecorded(t *testing.T) {
 
 func TestMaxInstructionsStopsEarly(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{{Name: "a", Stream: mkTrace(1000, 0)}},
+	res := mustRun(t, ft, []Process{{Name: "a", Stream: mkTrace(1000, 0)}},
 		Config{Level: 1, TimeSlice: 100, MaxInstructions: 42})
 	if res.Instructions != 42 {
 		t.Fatalf("instructions = %d, want 42", res.Instructions)
@@ -165,7 +178,7 @@ func TestDefaultsApplied(t *testing.T) {
 	ft := newFake(1)
 	// Level 0 -> 8; slice 0 -> 500k. With one short process neither
 	// default changes behaviour, but the run must still complete.
-	res := Run(ft, []Process{{Name: "a", Stream: mkTrace(5, 0)}}, Config{})
+	res := mustRun(t, ft, []Process{{Name: "a", Stream: mkTrace(5, 0)}}, Config{})
 	if res.Instructions != 5 {
 		t.Fatalf("instructions = %d, want 5", res.Instructions)
 	}
@@ -173,7 +186,7 @@ func TestDefaultsApplied(t *testing.T) {
 
 func TestDistinctPIDsPerProcess(t *testing.T) {
 	ft := newFake(1)
-	Run(ft, []Process{
+	mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(2, 0)},
 		{Name: "b", Stream: mkTrace(2, 0)},
 		{Name: "c", Stream: mkTrace(2, 0)},
@@ -192,7 +205,7 @@ func TestDistinctPIDsPerProcess(t *testing.T) {
 
 func TestCyclesPerSwitch(t *testing.T) {
 	ft := newFake(10)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(10, 0)},
 		{Name: "b", Stream: mkTrace(10, 0)},
 	}, Config{Level: 2, TimeSlice: 50}) // 5 instructions per slice
@@ -209,7 +222,7 @@ func TestCyclesPerSwitch(t *testing.T) {
 
 func TestEmptyProcessList(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, nil, Config{})
+	res := mustRun(t, ft, nil, Config{})
 	if res.Instructions != 0 || len(res.Completed) != 0 {
 		t.Fatalf("empty run produced %+v", res)
 	}
@@ -217,7 +230,7 @@ func TestEmptyProcessList(t *testing.T) {
 
 func TestZeroLengthProcess(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "empty", Stream: mkTrace(0, 0)},
 		{Name: "real", Stream: mkTrace(3, 0)},
 	}, Config{Level: 2, TimeSlice: 100})
@@ -231,11 +244,77 @@ func TestZeroLengthProcess(t *testing.T) {
 
 func TestPerProcessAccounting(t *testing.T) {
 	ft := newFake(1)
-	res := Run(ft, []Process{
+	res := mustRun(t, ft, []Process{
 		{Name: "a", Stream: mkTrace(7, 0)},
 		{Name: "b", Stream: mkTrace(3, 0)},
 	}, Config{Level: 2, TimeSlice: 2})
 	if res.PerProcess["a"] != 7 || res.PerProcess["b"] != 3 {
 		t.Fatalf("per-process counts %v, want a=7 b=3", res.PerProcess)
+	}
+}
+
+// failingStream yields n good events, then fails like a Reader over a
+// truncated tape: Next returns false and Err reports why.
+type failingStream struct {
+	n   int
+	err error
+}
+
+func (f *failingStream) Next(ev *trace.Event) bool {
+	if f.n == 0 {
+		return false
+	}
+	f.n--
+	ev.PC = uint32(f.n * 4)
+	return true
+}
+
+func (f *failingStream) Err() error { return f.err }
+
+func TestStreamErrorSurfaces(t *testing.T) {
+	ft := newFake(1)
+	streamErr := errors.New("tape truncated at record 3")
+	res, err := Run(ft, []Process{
+		{Name: "good", Stream: mkTrace(5, 1)}, // syscall each event: interleave
+		{Name: "bad", Stream: &failingStream{n: 3, err: streamErr}},
+	}, Config{Level: 2, TimeSlice: 1 << 40})
+	if !errors.Is(err, streamErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, streamErr)
+	}
+	if !strings.Contains(err.Error(), `"bad"`) {
+		t.Fatalf("error %q does not name the failing process", err)
+	}
+	// The instructions that ran before the failure must be reported, not
+	// zero-filled.
+	if res.Instructions == 0 || res.PerProcess["bad"] != 3 {
+		t.Fatalf("partial result lost: %+v", res)
+	}
+}
+
+func TestStepErrorSurfaces(t *testing.T) {
+	ft := newFake(1)
+	ft.stepErr = errors.New("model fault")
+	res, err := Run(ft, []Process{{Name: "a", Stream: mkTrace(10, 0)}},
+		Config{Level: 1, TimeSlice: 100})
+	if !errors.Is(err, ft.stepErr) {
+		t.Fatalf("err = %v, want wrapped %v", err, ft.stepErr)
+	}
+	if !strings.Contains(err.Error(), `"a"`) {
+		t.Fatalf("error %q does not name the process", err)
+	}
+	if res.Instructions != 1 {
+		t.Fatalf("instructions = %d, want 1 (stop at first fault)", res.Instructions)
+	}
+}
+
+// TestCleanEOFNotAnError: a stream with an Err method that stays nil
+// must terminate the process normally.
+func TestCleanEOFNotAnError(t *testing.T) {
+	ft := newFake(1)
+	res := mustRun(t, ft, []Process{
+		{Name: "a", Stream: &failingStream{n: 4}},
+	}, Config{Level: 1, TimeSlice: 100})
+	if res.Instructions != 4 || len(res.Completed) != 1 {
+		t.Fatalf("clean run mishandled: %+v", res)
 	}
 }

@@ -29,7 +29,7 @@ func runPolicy(t *testing.T, p core.WritePolicy, seed uint64) uint64 {
 			StoreBurst:   3,
 		}),
 	}}
-	res := MustRun(cfg, procs, sched.Config{Level: 1})
+	res := mustRun(t, cfg, procs, sched.Config{Level: 1})
 	return res.Stats.Cycles
 }
 
@@ -76,7 +76,7 @@ func TestSlowerL2NeverHelps(t *testing.T) {
 				Name:   "synth",
 				Stream: synth.New(synth.Config{Instructions: 100_000, Seed: 42}),
 			}}
-			cycles := MustRun(cfg, procs, sched.Config{Level: 1}).Stats.Cycles
+			cycles := mustRun(t, cfg, procs, sched.Config{Level: 1}).Stats.Cycles
 			if cycles < prev {
 				t.Errorf("%v: access %d took %d cycles, less than a faster L2 (%d)",
 					p, access, cycles, prev)
@@ -100,7 +100,7 @@ func TestLargerL2NeverHurts(t *testing.T) {
 			Name:   "synth",
 			Stream: synth.New(synth.Config{Instructions: 120_000, Seed: 77, DataBytes: 1 << 20}),
 		}}
-		cycles := MustRun(cfg, procs, sched.Config{Level: 1}).Stats.Cycles
+		cycles := mustRun(t, cfg, procs, sched.Config{Level: 1}).Stats.Cycles
 		if i > 0 && cycles > prev {
 			t.Errorf("L2 %dKW took %d cycles, more than the half-size cache (%d)", sizeKW, cycles, prev)
 		}

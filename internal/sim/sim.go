@@ -19,21 +19,27 @@ type Result struct {
 func (r Result) CPI() float64 { return r.Stats.CPI() }
 
 // Run simulates procs on a fresh system built from cfg.
+//
+// Errors come from three places: an unimplementable configuration
+// (before any simulation), a scheduler-surfaced fault mid-run (a target
+// fault or a failing trace stream), or — when cfg.SelfCheck is enabled
+// — a failed invariant check after the final write-buffer drain. In the
+// latter two cases the Result still carries the statistics of the
+// instructions that ran.
 func Run(cfg core.Config, procs []sched.Process, scfg sched.Config) (Result, error) {
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	res := sched.Run(sys, procs, scfg)
-	sys.DrainWriteBuffer()
-	return Result{Stats: sys.Stats(), Sched: res}, nil
-}
-
-// MustRun is Run for known-good configurations.
-func MustRun(cfg core.Config, procs []sched.Process, scfg sched.Config) Result {
-	r, err := Run(cfg, procs, scfg)
+	sres, err := sched.Run(sys, procs, scfg)
 	if err != nil {
-		panic(err)
+		return Result{Stats: sys.Stats(), Sched: sres}, err
 	}
-	return r
+	sys.DrainWriteBuffer()
+	if cfg.SelfCheck > 0 {
+		if err := sys.CheckInvariants(); err != nil {
+			return Result{Stats: sys.Stats(), Sched: sres}, err
+		}
+	}
+	return Result{Stats: sys.Stats(), Sched: sres}, nil
 }

@@ -51,20 +51,19 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	}
 }
 
-func TestMustRunPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustRun accepted bad config")
-		}
-	}()
-	bad := core.Base()
-	bad.WBEntries = 0
-	MustRun(bad, nil, sched.Config{})
+// mustRun is Run for known-good configurations under test.
+func mustRun(t *testing.T, cfg core.Config, procs []sched.Process, scfg sched.Config) Result {
+	t.Helper()
+	res, err := Run(cfg, procs, scfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() Result {
-		return MustRun(core.Base(), synthProcs(2, 50_000), sched.Config{Level: 2})
+		return mustRun(t, core.Base(), synthProcs(2, 50_000), sched.Config{Level: 2})
 	}
 	a, b := run(), run()
 	if a.Stats != b.Stats {
@@ -77,7 +76,9 @@ func TestFullPipelineSmoke(t *testing.T) {
 		t.Skip("full workload in -short mode")
 	}
 	rec := workload.Record(1)
-	res := MustRun(core.Base(), workload.ReplayProcesses(rec),
+	cfg := core.Base()
+	cfg.SelfCheck = 100_000 // exercise the runtime self-checks on the real workload
+	res := mustRun(t, cfg, workload.ReplayProcesses(rec),
 		sched.Config{MaxInstructions: 2_000_000})
 	if res.Stats.Instructions != 2_000_000 {
 		t.Fatalf("instructions = %d", res.Stats.Instructions)

@@ -114,11 +114,19 @@ func (tw *Writer) Close() error {
 }
 
 // Reader decodes a binary trace file as a Stream.
+//
+// A corrupt or truncated tape surfaces through Err with the record
+// index and byte offset of the damage. Because records are fixed width,
+// a reader that hits a corrupt record (not a truncated one) can call
+// Resync to skip it and continue with the next record — useful when
+// salvaging a long tape with isolated damage.
 type Reader struct {
-	r     *bufio.Reader
-	count uint64 // events remaining per header; ^0 means "until EOF"
-	rec   [recordBytes]byte
-	err   error
+	r        *bufio.Reader
+	count    uint64 // events remaining per header; ^0 means "until EOF"
+	index    uint64 // records successfully decoded so far
+	rec      [recordBytes]byte
+	err      error
+	syncable bool // the failed record was fully read: Resync may skip it
 }
 
 // NewReader validates the header of r and returns a streaming Reader.
@@ -145,27 +153,72 @@ func NewReader(r io.Reader) (*Reader, error) {
 // A clean end of trace leaves Err nil.
 func (tr *Reader) Err() error { return tr.err }
 
+// Index returns the number of records successfully decoded so far; when
+// Err is non-nil this is the index of the record the error occurred in.
+func (tr *Reader) Index() uint64 { return tr.index }
+
+// Offset returns the byte offset of the next (or, after an error, the
+// failing) record in the file.
+func (tr *Reader) Offset() uint64 { return headerBytes + tr.index*recordBytes }
+
+// Resync clears a record-content error and skips past the bad record so
+// reading can continue at the next record boundary. It reports whether
+// the reader recovered: truncation and I/O errors are not resyncable
+// because the stream has no more bytes to realign on. The skipped
+// record still counts against the header's event count.
+func (tr *Reader) Resync() bool {
+	if tr.err == nil || !tr.syncable {
+		return false
+	}
+	// The bad record's bytes were already consumed; just step over it.
+	tr.err = nil
+	tr.syncable = false
+	tr.index++
+	if tr.count != ^uint64(0) {
+		tr.count--
+	}
+	return true
+}
+
+// fail records the first error with the damaged record's coordinates.
+func (tr *Reader) fail(syncable bool, format string, args ...any) {
+	args = append(args, tr.index, tr.Offset())
+	tr.err = fmt.Errorf(format+" (record %d, byte offset %d)", args...)
+	tr.syncable = syncable
+}
+
 // Next implements Stream.
 func (tr *Reader) Next(ev *Event) bool {
 	if tr.err != nil || tr.count == 0 {
 		return false
 	}
-	if _, err := io.ReadFull(tr.r, tr.rec[:]); err != nil {
+	if n, err := io.ReadFull(tr.r, tr.rec[:]); err != nil {
 		if err != io.EOF {
-			tr.err = fmt.Errorf("trace: reading record: %w", err)
+			tr.fail(false, "trace: record cut short after %d of %d bytes: %w",
+				n, recordBytes, err)
 		} else if tr.count != ^uint64(0) {
-			tr.err = fmt.Errorf("trace: truncated file: %w", io.ErrUnexpectedEOF)
+			tr.fail(false, "trace: file truncated %d records early: %w",
+				tr.count, io.ErrUnexpectedEOF)
 		}
 		tr.count = 0
 		return false
 	}
 	r := tr.rec[:]
+	if k := Kind(r[8]); k > Store {
+		tr.fail(true, "%w: unknown event kind %d", ErrBadFormat, uint8(k))
+		return false
+	}
+	if f := r[11]; f&^flagSyscall != 0 {
+		tr.fail(true, "%w: reserved flag bits %#x set", ErrBadFormat, f)
+		return false
+	}
 	ev.PC = binary.LittleEndian.Uint32(r[0:4])
 	ev.Data = binary.LittleEndian.Uint32(r[4:8])
 	ev.Kind = Kind(r[8])
 	ev.Size = r[9]
 	ev.Stall = r[10]
 	ev.Syscall = r[11]&flagSyscall != 0
+	tr.index++
 	if tr.count != ^uint64(0) {
 		tr.count--
 	}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// tapeBytes serializes events into a trace file image. The count field
+// is back-patched by hand since bytes.Buffer cannot seek.
+func tapeBytes(t testing.TB, events []Event, patchCount bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, NewMemTrace(events)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if patchCount {
+		binary.LittleEndian.PutUint64(data[8:16], uint64(len(events)))
+	}
+	return data
+}
+
+var fuzzSeedEvents = []Event{
+	{PC: 0x1000},
+	{PC: 0x1004, Kind: Load, Data: 0x8000, Size: 4},
+	{PC: 0x1008, Kind: Store, Data: 0x8004, Size: 1, Stall: 3},
+	{PC: 0x100c, Syscall: true},
+}
+
+// FuzzReader feeds arbitrary bytes to the trace reader. Whatever the
+// input, the reader must not panic, must not fabricate invalid events,
+// and must report damage with in-bounds record coordinates.
+func FuzzReader(f *testing.F) {
+	valid := tapeBytes(f, fuzzSeedEvents, true)
+	f.Add(valid)
+	f.Add(tapeBytes(f, fuzzSeedEvents, false)) // zero count: read to EOF
+
+	corruptMagic := bytes.Clone(valid)
+	copy(corruptMagic[:4], "XTRC")
+	f.Add(corruptMagic)
+
+	badVersion := bytes.Clone(valid)
+	binary.LittleEndian.PutUint16(badVersion[4:6], 99)
+	f.Add(badVersion)
+
+	f.Add(valid[:headerBytes-3])             // truncated header
+	f.Add(valid[:headerBytes+recordBytes+5]) // EOF mid-record
+
+	badKind := bytes.Clone(valid)
+	badKind[headerBytes+8] = 200
+	f.Add(badKind)
+
+	badFlags := bytes.Clone(valid)
+	badFlags[headerBytes+recordBytes+11] = 0xfe
+	f.Add(badFlags)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // header rejected: nothing else to check
+		}
+		var ev Event
+		n := uint64(0)
+		for tr.Next(&ev) {
+			n++
+			if ev.Kind > Store {
+				t.Fatalf("reader produced invalid kind %d", ev.Kind)
+			}
+		}
+		if tr.Index() != n {
+			t.Fatalf("Index() = %d after %d records", tr.Index(), n)
+		}
+		if got, want := tr.Offset(), headerBytes+n*recordBytes; got != want {
+			t.Fatalf("Offset() = %d, want %d", got, want)
+		}
+		if tr.Err() == nil {
+			// A clean tape decodes fully: every record byte consumed.
+			if max := uint64(len(data)-headerBytes) / recordBytes; n > max {
+				t.Fatalf("decoded %d records from %d bytes", n, len(data))
+			}
+			return
+		}
+		// After an error, Next must stay false and Err stable.
+		if tr.Next(&ev) {
+			t.Fatal("Next succeeded after an error")
+		}
+		// Resync either recovers (record-content damage) or refuses
+		// (truncation); recovering must allow further progress without
+		// re-reporting the same record.
+		before := tr.Index()
+		if tr.Resync() {
+			if tr.Err() != nil {
+				t.Fatal("Err still set after successful Resync")
+			}
+			if tr.Index() != before+1 {
+				t.Fatalf("Resync moved index %d -> %d", before, tr.Index())
+			}
+			for tr.Next(&ev) {
+			}
+		}
+	})
+}
+
+func TestReaderReportsRecordCoordinates(t *testing.T) {
+	data := tapeBytes(t, fuzzSeedEvents, true)
+	data[headerBytes+2*recordBytes+8] = 77 // bad kind in record 2
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	for tr.Next(&ev) {
+	}
+	err = tr.Err()
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("Err = %v, want ErrBadFormat", err)
+	}
+	if tr.Index() != 2 {
+		t.Fatalf("Index = %d, want 2", tr.Index())
+	}
+	if want := uint64(headerBytes + 2*recordBytes); tr.Offset() != want {
+		t.Fatalf("Offset = %d, want %d", tr.Offset(), want)
+	}
+	for _, frag := range []string{"record 2", "byte offset 40", "kind 77"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestReaderResyncSkipsBadRecord(t *testing.T) {
+	data := tapeBytes(t, fuzzSeedEvents, true)
+	data[headerBytes+1*recordBytes+11] = 0xf0 // reserved flags in record 1
+	tr, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	var ev Event
+	for {
+		for tr.Next(&ev) {
+			got = append(got, ev)
+		}
+		if tr.Err() == nil || !tr.Resync() {
+			break
+		}
+	}
+	if tr.Err() != nil {
+		t.Fatalf("tape not salvaged: %v", tr.Err())
+	}
+	want := []Event{fuzzSeedEvents[0], fuzzSeedEvents[2], fuzzSeedEvents[3]}
+	if len(got) != len(want) {
+		t.Fatalf("salvaged %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReaderTruncationNotResyncable(t *testing.T) {
+	data := tapeBytes(t, fuzzSeedEvents, true)
+	tr, err := NewReader(bytes.NewReader(data[:headerBytes+recordBytes+4]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	for tr.Next(&ev) {
+	}
+	if tr.Err() == nil {
+		t.Fatal("mid-record truncation not reported")
+	}
+	if !strings.Contains(tr.Err().Error(), "record 1") {
+		t.Fatalf("error %q missing record index", tr.Err())
+	}
+	if tr.Resync() {
+		t.Fatal("Resync recovered from truncation")
+	}
+}
+
+func TestReaderHeaderCountTruncation(t *testing.T) {
+	// Header promises 4 records but the file body holds 2.
+	data := tapeBytes(t, fuzzSeedEvents, true)
+	tr, err := NewReader(bytes.NewReader(data[:headerBytes+2*recordBytes]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	n := 0
+	for tr.Next(&ev) {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("decoded %d records, want 2", n)
+	}
+	if !errors.Is(tr.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("Err = %v, want ErrUnexpectedEOF", tr.Err())
+	}
+	if !strings.Contains(tr.Err().Error(), "2 records early") {
+		t.Fatalf("error %q missing shortfall", tr.Err())
+	}
+}

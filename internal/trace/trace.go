@@ -71,8 +71,23 @@ type Event struct {
 // Stream is a finite sequence of events. Next fills *ev and reports
 // whether an event was produced; it returns false exactly once, after the
 // final event, and every call thereafter.
+//
+// A stream that can fail mid-sequence (a Reader over a corrupt tape, a
+// pipe that breaks) additionally implements Err() error, reporting why
+// Next returned false. Consumers distinguish clean exhaustion from
+// failure with StreamErr.
 type Stream interface {
 	Next(ev *Event) bool
+}
+
+// StreamErr reports why s stopped producing events: the stream's Err()
+// when it implements one and has failed, nil for streams that cannot
+// fail or that ended cleanly. Call it after Next returns false.
+func StreamErr(s Stream) error {
+	if es, ok := s.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
 }
 
 // MemTrace is an in-memory trace that can be replayed from the start any
