@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench verify fuzz sweep
+.PHONY: all build test bench lint verify fuzz sweep
 
 all: build
 
@@ -16,9 +16,16 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem
 
-# verify: static checks, a full build, the test suite under the race
-# detector, and a short fuzz smoke over the trace-file reader.
-verify:
+# lint: the repo-specific cachelint suite (internal/lint): nopanic,
+# errwrap, determinism, exhaustive, statscoverage. Non-zero exit on any
+# finding; see README.md for the //lint:allow escape hatch.
+lint:
+	$(GO) run ./cmd/cachelint ./...
+
+# verify: static checks (vet + cachelint), a full build, the test suite
+# under the race detector, and a short fuzz smoke over the trace-file
+# reader.
+verify: lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...

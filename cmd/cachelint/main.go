@@ -1,0 +1,145 @@
+// Command cachelint runs the repo-specific static-analysis suite of
+// internal/lint: nopanic, errwrap, determinism, exhaustive, and
+// statscoverage (see the package documentation for each rule's
+// rationale).
+//
+// Usage:
+//
+//	cachelint [-json] [-list] [-run name,name] [packages]
+//
+// Packages are directories ("./internal/core"), import paths
+// ("repro/internal/core"), or the recursive pattern "./...". With no
+// arguments it lints the whole module. Findings print one per line as
+// "file:line:col: analyzer: message"; the exit status is 1 when there
+// are findings, 2 on a load or usage error, and 0 on a clean tree.
+//
+// A finding is suppressed, with justification, by a directive on the
+// offending line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "print findings as a JSON array")
+		list    = flag.Bool("list", false, "list the analyzers and exit")
+		runSel  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.Analyzers()
+	if *runSel != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*runSel, ",") {
+			a, err := lint.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachelint:", err)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, module, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachelint:", err)
+		return 2
+	}
+	loader := lint.NewLoader(module, root)
+
+	var pkgs []*lint.Package
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, arg := range args {
+		switch {
+		case arg == "./..." || arg == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachelint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		case strings.HasPrefix(arg, module+"/") || arg == module:
+			pkg, err := loader.Load(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachelint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		default:
+			path, err := loader.PathFor(arg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachelint:", err)
+				return 2
+			}
+			pkg, err := loader.Load(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cachelint:", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := lint.Check(dedupe(pkgs), analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cachelint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "cachelint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}
+
+// dedupe drops repeated packages while preserving order, so overlapping
+// patterns don't double-report.
+func dedupe(pkgs []*lint.Package) []*lint.Package {
+	seen := map[string]bool{}
+	out := pkgs[:0]
+	for _, p := range pkgs {
+		if seen[p.Path] {
+			continue
+		}
+		seen[p.Path] = true
+		out = append(out, p)
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -82,6 +83,9 @@ func run() error {
 	fmt.Printf("write buffer: %d enqueues, %d full stalls, %d flushes\n",
 		st.WBEnqueues, st.WBFullStalls, st.WBFlushes)
 	fmt.Printf("scheduler: %s\n", res.Sched)
+	if len(res.Sched.PerProcess) > 0 {
+		fmt.Printf("per-process instructions:\n%s", report.FormatPerProcess(res.Sched.PerProcess))
+	}
 	return nil
 }
 

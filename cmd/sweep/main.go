@@ -17,8 +17,26 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/lint"
 	"repro/internal/report"
 )
+
+// lintInfo stamps the manifest with the cachelint state of the source
+// tree, so a run log records whether its numbers came from a vetted
+// tree. When the sweep binary runs away from the repository (no go.mod
+// in reach), the stamp says so instead of failing the run.
+func lintInfo() *harness.LintInfo {
+	sum, err := lint.SelfCheck(".")
+	if err != nil {
+		return &harness.LintInfo{Version: lint.Version, Status: "unavailable: " + err.Error()}
+	}
+	return &harness.LintInfo{
+		Version:  sum.Version,
+		Clean:    sum.Clean,
+		Findings: len(sum.Findings),
+		Status:   "ok",
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -114,6 +132,7 @@ func run() error {
 		},
 	})
 	if *manifest != "" {
+		m.Lint = lintInfo()
 		if err := m.WriteFile(*manifest); err != nil {
 			return err
 		}

@@ -213,12 +213,39 @@ func (s *System) checkStats() error {
 			return s.violation("stats-"+p.name, 0, "%d misses exceed %d accesses", p.misses, p.access)
 		}
 	}
+	// The Cycles and TLB-miss fields are stamped from the live clock and
+	// the MMU's own counters when Stats() snapshots; on the live
+	// accumulator they stay zero. Either way a nonzero value that
+	// disagrees with its source means the stamp went stale.
+	if c := s.stats.Cycles; c != 0 && c != s.now {
+		return s.violation("stats-cycles-stamp", 0, "stamped %d cycles but the clock reads %d", c, s.now)
+	}
+	// Write-buffer conservation: the queue never holds more entries than
+	// were ever enqueued, every full-buffer stall precedes an enqueue,
+	// and at most one flush event is charged per instruction.
+	if occ := uint64(len(s.wb.q)); occ > s.stats.WBEnqueues {
+		return s.violation("stats-wb-enqueues", 0, "%d entries queued but only %d ever enqueued", occ, s.stats.WBEnqueues)
+	}
+	if s.stats.WBFullStalls > s.stats.WBEnqueues {
+		return s.violation("stats-wb-stalls", 0, "%d full-buffer stalls exceed %d enqueues",
+			s.stats.WBFullStalls, s.stats.WBEnqueues)
+	}
+	if s.stats.WBFlushes > s.stats.Instructions {
+		return s.violation("stats-wb-flushes", 0, "%d flushes exceed %d instructions",
+			s.stats.WBFlushes, s.stats.Instructions)
+	}
 	it, dt := s.mmu.ITLB().Stats(), s.mmu.DTLB().Stats()
 	if got := it.Hits + it.Misses; got != s.stats.L1IAccesses {
 		return s.violation("stats-itlb", 0, "%d ITLB accesses for %d instruction fetches", got, s.stats.L1IAccesses)
 	}
 	if refs, got := s.stats.L1DReads+s.stats.L1DWrites, dt.Hits+dt.Misses; got != refs {
 		return s.violation("stats-dtlb", 0, "%d DTLB accesses for %d data references", got, refs)
+	}
+	if m := s.stats.ITLBMisses; m != 0 && m != it.Misses {
+		return s.violation("stats-itlb-stamp", 0, "stamped %d ITLB misses but the TLB counted %d", m, it.Misses)
+	}
+	if m := s.stats.DTLBMisses; m != 0 && m != dt.Misses {
+		return s.violation("stats-dtlb-stamp", 0, "stamped %d DTLB misses but the TLB counted %d", m, dt.Misses)
 	}
 	return nil
 }

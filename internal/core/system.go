@@ -138,6 +138,8 @@ func (s *System) Step(pid mmu.PID, ev *trace.Event) error {
 		s.load(pid, ev.Data)
 	case trace.Store:
 		s.store(pid, ev.Data, ev.Size)
+	case trace.None:
+		// No data reference; the fetch above was the only access.
 	}
 	s.wb.popCompleted(s.now)
 	if s.cfg.SelfCheck > 0 && s.now >= s.nextCheck {

@@ -42,6 +42,8 @@ func CostOf(cfg core.Config) Cost {
 	switch cfg.WritePolicy {
 	case core.WriteBack:
 		c.StateBits += dLines // dirty bit
+	case core.WriteMissInvalidate:
+		// Pure write-through keeps no per-line state beyond the valid bit.
 	case core.WriteOnly:
 		c.StateBits += dLines // write-only marker
 	case core.Subblock:

@@ -83,6 +83,17 @@ type Result struct {
 	Err      *RunError `json:"error,omitempty"` // last attempt's failure
 }
 
+// LintInfo records the static-analysis state of the source tree that
+// produced a run: which cachelint ruleset vetted it and whether the
+// tree was clean. A manifest from an unvetted or dirty tree is still a
+// valid run log, but its numbers carry a caveat.
+type LintInfo struct {
+	Version  string `json:"version"`  // e.g. lint.Version
+	Clean    bool   `json:"clean"`    // no findings at run time
+	Findings int    `json:"findings"` // finding count when not clean
+	Status   string `json:"status"`   // "ok" or "unavailable: <why>"
+}
+
 // Manifest summarizes a whole Run for the JSON run log.
 type Manifest struct {
 	Started  time.Time `json:"started"`
@@ -91,7 +102,8 @@ type Manifest struct {
 	OK       int       `json:"ok"`
 	Failed   int       `json:"failed"`
 	Skipped  int       `json:"skipped"`
-	Results  []Result  `json:"results"` // in spec order, one per job
+	Lint     *LintInfo `json:"lint,omitempty"` // cachelint state of the tree, if recorded
+	Results  []Result  `json:"results"`        // in spec order, one per job
 }
 
 // WriteFile writes the manifest as indented JSON.

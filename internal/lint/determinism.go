@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// determinismScope lists every package that contributes to the numbers
+// in the paper's tables and figures. Two runs of the same configuration
+// must produce bit-identical Stats and report output; the wall clock,
+// the process-seeded global math/rand, and Go's randomized map
+// iteration order are the three stdlib sources of run-to-run variation.
+// (internal/harness is deliberately out of scope: its manifest records
+// real wall-clock timestamps and durations, which are metadata about a
+// run, not results of it.)
+var determinismScope = pathIn(
+	"repro/internal/core",
+	"repro/internal/mmu",
+	"repro/internal/sim",
+	"repro/internal/sched",
+	"repro/internal/trace",
+	"repro/internal/mips",
+	"repro/internal/progs",
+	"repro/internal/workload",
+	"repro/internal/synth",
+	"repro/internal/experiments",
+	"repro/internal/report",
+)
+
+// Determinism forbids the nondeterminism sources in simulator and
+// reporting code: time.Now, the math/rand package (its global functions
+// are seeded per process; use the repo's explicit-seed generators in
+// internal/synth instead), and ranging over a map (iteration order is
+// randomized — collect the keys and sort them first).
+var Determinism = &Analyzer{
+	Name:    "determinism",
+	Doc:     "simulator/report packages: no time.Now, no math/rand, no map iteration",
+	Applies: determinismScope,
+	Run:     runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"%s is process-seeded; simulator code must use an explicit-seed generator (see internal/synth) so runs replay bit-for-bit", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if obj, ok := info.Uses[n.Sel]; ok && obj.Pkg() != nil &&
+					obj.Pkg().Path() == "time" && obj.Name() == "Now" {
+					pass.Reportf(n.Pos(),
+						"time.Now in simulator code makes cycle accounting irreproducible; thread simulated time (System.Now) or move the timing to the harness")
+				}
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"map iteration order is randomized; collect the keys, sort them, and range over the slice so emitted results are stable")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap enforces the repo's error discipline everywhere:
+//
+//   - fmt.Errorf that embeds an error operand must use %w, so the chain
+//     stays matchable with errors.Is/errors.As (the sweep harness and
+//     the invariant tests both match sentinels through wrapped chains);
+//   - errors.New must only appear in package-level var declarations —
+//     an errors.New inside a function mints a fresh, unmatchable value
+//     on every call and cannot serve as a sentinel.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error operand must use %w; sentinel errors must be package-level vars",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Track package-level var initializers: errors.New is legal there.
+		packageLevelNew := map[*ast.CallExpr]bool{}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isPkgFunc(info, call, "errors", "New") {
+					packageLevelNew[call] = true
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(info, call, "errors", "New") && !packageLevelNew[call]:
+				pass.Reportf(call.Pos(),
+					"errors.New inside a function creates an unmatchable error; declare a package-level sentinel var or wrap one with fmt.Errorf(...%%w...)")
+			case isPkgFunc(info, call, "fmt", "Errorf"):
+				checkErrorf(pass, call)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorf reports an Errorf call that formats an error operand
+// without %w. Calls whose format string is not a compile-time constant
+// are skipped — there is nothing static to check.
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	wraps := strings.Count(format, "%w")
+	errOperands := 0
+	var firstErr ast.Expr
+	for _, arg := range call.Args[1:] {
+		t := pass.Pkg.Info.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if isErrorType(t) {
+			errOperands++
+			if firstErr == nil {
+				firstErr = arg
+			}
+		}
+	}
+	if errOperands > wraps {
+		pass.Reportf(firstErr.Pos(),
+			"error operand formatted without %%w; errors.Is cannot see through this fmt.Errorf (format %q)", format)
+	}
+}
+
+// isPkgFunc reports whether call invokes package pkg's function name
+// (resolved through the type checker, so local shadows don't fool it).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkg && obj.Name() == name
+}

@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// maxEnumSize bounds the enums the exhaustive analyzer reasons about.
+// The repo's policy/state enums (trace.Kind, core.WritePolicy,
+// core.Cause, mips.encClass, ...) all have a handful of constants, and
+// a silently missing case there is a silent accounting bug. The MIPS
+// opcode table (mips.Op, ~100 constants) is a dispatch table, not a
+// state enum: its switches are intentionally partial and fall through
+// to a dynamic default, so it is exempt by size.
+const maxEnumSize = 24
+
+// Exhaustive requires a switch over a small named constant type to
+// either cover every declared constant of that type or carry a default
+// clause. Constants whose names begin with "num", "max", or "min" are
+// counting sentinels (numCauses, numOps), not enum members.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "a switch over a small named constant type must cover every constant or have a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, info, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, info *types.Info, sw *ast.SwitchStmt) {
+	tagType := info.TypeOf(sw.Tag)
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 || len(members) > maxEnumSize {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // default clause: explicitly non-exhaustive, fine
+		}
+		for _, expr := range clause.List {
+			tv, ok := info.Types[expr]
+			if !ok || tv.Value == nil {
+				return // non-constant case: coverage is undecidable
+			}
+			for _, m := range members {
+				if constant.Compare(m.Val(), token.EQL, tv.Value) {
+					covered[m.Name()] = true
+				}
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.Name()] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s misses %s; add the missing cases or a default clause",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// enumMembers returns the package-level constants declared with exactly
+// the named type, counting sentinels excluded.
+func enumMembers(named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if isCountingSentinel(c.Name()) {
+			continue
+		}
+		members = append(members, c)
+	}
+	return members
+}
+
+// isCountingSentinel matches the repo's naming for array-sizing
+// constants that share the enum's type without being members of it.
+func isCountingSentinel(name string) bool {
+	return name == "_" ||
+		strings.HasPrefix(name, "num") ||
+		strings.HasPrefix(name, "max") ||
+		strings.HasPrefix(name, "min")
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFixtures loads the testdata module once per test run.
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	loader := NewLoader("repro", filepath.Join("testdata", "src", "repro"))
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	return pkgs
+}
+
+var wantRe = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+
+// expectations scans the fixture comments for "// want <analyzer>..."
+// markers and returns the expected (file:line -> analyzer -> count) map.
+func expectations(pkgs []*Package) map[string]map[string]int {
+	want := map[string]map[string]int{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(strings.TrimSpace(c.Text))
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := posKey(pos)
+					if want[key] == nil {
+						want[key] = map[string]int{}
+					}
+					for _, name := range strings.Fields(m[1]) {
+						want[key][name]++
+					}
+				}
+			}
+		}
+	}
+	return want
+}
+
+func posKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// TestSeededViolations runs the full suite over the fixtures and
+// requires the findings to match the // want markers exactly.
+func TestSeededViolations(t *testing.T) {
+	pkgs := loadFixtures(t)
+	want := expectations(pkgs)
+	got := map[string]map[string]int{}
+	seenAnalyzer := map[string]bool{}
+	for _, f := range Check(pkgs, Analyzers()) {
+		if f.Analyzer == "directive" {
+			continue // covered by TestBareDirective
+		}
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line)
+		if got[key] == nil {
+			got[key] = map[string]int{}
+		}
+		got[key][f.Analyzer]++
+		seenAnalyzer[f.Analyzer] = true
+	}
+
+	for key, analyzers := range want {
+		for name, n := range analyzers {
+			if got[key][name] != n {
+				t.Errorf("%s: want %d %s finding(s), got %d", key, n, name, got[key][name])
+			}
+		}
+	}
+	for key, analyzers := range got {
+		for name, n := range analyzers {
+			if want[key][name] != n {
+				t.Errorf("%s: unexpected %s finding (x%d)", key, name, n)
+			}
+		}
+	}
+
+	// Every analyzer of the suite must have caught at least one seeded
+	// violation, or the fixtures have rotted.
+	for _, a := range Analyzers() {
+		if !seenAnalyzer[a.Name] {
+			t.Errorf("analyzer %s detected nothing in the fixtures", a.Name)
+		}
+	}
+}
+
+// TestBareDirective checks that //lint:allow without a reason is
+// reported and does not suppress.
+func TestBareDirective(t *testing.T) {
+	pkgs := loadFixtures(t)
+	var directives, suppressed []Finding
+	for _, f := range Check(pkgs, Analyzers()) {
+		if f.Analyzer == "directive" {
+			directives = append(directives, f)
+		}
+		if f.Analyzer == "nopanic" && strings.HasSuffix(f.File, "sim/sim.go") {
+			suppressed = append(suppressed, f)
+		}
+	}
+	if len(directives) != 1 || !strings.HasSuffix(directives[0].File, "sim/sim.go") {
+		t.Fatalf("want exactly one directive finding in sim/sim.go, got %v", directives)
+	}
+	if len(suppressed) != 1 {
+		t.Fatalf("bare directive must not suppress the nopanic finding; got %v", suppressed)
+	}
+}
+
+// TestJustifiedSuppression checks that a full //lint:allow directive
+// silences its finding: the fixture core package panics twice, but only
+// the unsuppressed site may be reported.
+func TestJustifiedSuppression(t *testing.T) {
+	pkgs := loadFixtures(t)
+	count := 0
+	for _, f := range Check(pkgs, []*Analyzer{NoPanic}) {
+		if strings.HasSuffix(f.File, "core/core.go") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("want 1 unsuppressed nopanic finding in core/core.go, got %d", count)
+	}
+}
+
+// TestFindingsAreSorted checks the deterministic output order.
+func TestFindingsAreSorted(t *testing.T) {
+	pkgs := loadFixtures(t)
+	fs := Check(pkgs, Analyzers())
+	sorted := sort.SliceIsSorted(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		return fs[i].Col <= fs[j].Col
+	})
+	if !sorted {
+		t.Fatalf("findings not sorted by position: %v", fs)
+	}
+}
+
+// TestScopeBoundaries checks that out-of-scope packages are exempt from
+// the scoped analyzers: the harness fixture reads the wall clock and
+// panics, legally.
+func TestScopeBoundaries(t *testing.T) {
+	pkgs := loadFixtures(t)
+	for _, f := range Check(pkgs, Analyzers()) {
+		if strings.Contains(f.File, "harness") {
+			t.Errorf("out-of-scope package flagged: %v", f)
+		}
+	}
+}
+
+// TestByName covers analyzer lookup for the CLI's -run flag.
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		got, err := ByName(a.Name)
+		if err != nil || got != a {
+			t.Fatalf("ByName(%q) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+}
+
+// TestFindModuleRoot resolves the real repository's module.
+func TestFindModuleRoot(t *testing.T) {
+	root, module, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "repro" {
+		t.Fatalf("module = %q, want repro", module)
+	}
+	here, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel, err := filepath.Rel(root, here); err != nil || strings.HasPrefix(rel, "..") {
+		t.Fatalf("root %q does not contain %q", root, here)
+	}
+}
+
+// TestRepositoryIsClean is the acceptance gate: the repository that
+// ships these analyzers must itself lint clean.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	sum, err := SelfCheck(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Version != Version {
+		t.Fatalf("summary version %q, want %q", sum.Version, Version)
+	}
+	if sum.Packages == 0 {
+		t.Fatal("self-check loaded no packages")
+	}
+	if !sum.Clean {
+		for _, f := range sum.Findings {
+			t.Errorf("%v", f)
+		}
+		t.Fatalf("repository is not lint-clean: %d finding(s)", len(sum.Findings))
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// noPanicScope lists the packages whose faults must surface as typed
+// errors: the model core and everything it sits on. A panic here would
+// kill a multi-hour sweep instead of producing one structured failure
+// in the manifest (internal/harness exists to convert the *residual*
+// panics of table-driven experiment code, not to excuse new ones in the
+// model).
+var noPanicScope = pathIn(
+	"repro/internal/core",
+	"repro/internal/mmu",
+	"repro/internal/sim",
+	"repro/internal/sched",
+	"repro/internal/trace",
+	"repro/internal/mips",
+)
+
+// NoPanic forbids calls to the builtin panic in the model packages.
+var NoPanic = &Analyzer{
+	Name:    "nopanic",
+	Doc:     "model packages return sentinel errors; panic is forbidden in non-test code",
+	Applies: noPanicScope,
+	Run:     runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				pass.Reportf(call.Pos(),
+					"panic in a model package kills the whole sweep; latch a sentinel error instead (see core.ErrInvariant)")
+			}
+			return true
+		})
+	}
+}

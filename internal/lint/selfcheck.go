@@ -1,0 +1,37 @@
+package lint
+
+// Version identifies the analyzer suite. Bump it when an analyzer's
+// rules change, so a sweep manifest records which ruleset vetted the
+// tree that produced it.
+const Version = "cachelint/1.0"
+
+// Summary is the result of linting a whole module, in the shape the
+// sweep manifest embeds.
+type Summary struct {
+	Version  string    `json:"version"`
+	Packages int       `json:"packages"`
+	Clean    bool      `json:"clean"`
+	Findings []Finding `json:"findings,omitempty"`
+}
+
+// SelfCheck lints the module containing startDir with the full analyzer
+// suite. cmd/sweep uses it to stamp each run manifest with the lint
+// state of the tree the numbers came from.
+func SelfCheck(startDir string) (*Summary, error) {
+	root, module, err := FindModuleRoot(startDir)
+	if err != nil {
+		return nil, err
+	}
+	loader := NewLoader(module, root)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	findings := Check(pkgs, Analyzers())
+	return &Summary{
+		Version:  Version,
+		Packages: len(pkgs),
+		Clean:    len(findings) == 0,
+		Findings: findings,
+	}, nil
+}

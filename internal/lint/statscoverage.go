@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatsCoverage ties the Stats struct to its aggregation paths: every
+// field must be accumulated by (*Stats).Add (shard merging) and
+// referenced by at least one invariant check (CheckInvariants or a
+// check* helper). Without this, a newly added counter merges as zero or
+// escapes the runtime self-checks — both silent, both exactly the kind
+// of accounting drift the paper's CPI stacks cannot tolerate.
+var StatsCoverage = &Analyzer{
+	Name: "statscoverage",
+	Doc:  "every core.Stats field must be merged by Add and referenced by an invariant check",
+	Applies: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "internal/core")
+	},
+	Run: runStatsCoverage,
+}
+
+func runStatsCoverage(pass *Pass) {
+	scope := pass.Pkg.Types.Scope()
+	obj, ok := scope.Lookup("Stats").(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	merged := map[string]bool{}
+	checked := map[string]bool{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			switch {
+			case name == "Add" && receiverIs(pass.Pkg.Info, fd, obj):
+				collectStatsFields(pass.Pkg.Info, fd.Body, obj, merged)
+			case name == "CheckInvariants" || strings.HasPrefix(name, "check"):
+				collectStatsFields(pass.Pkg.Info, fd.Body, obj, checked)
+			}
+		}
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !merged[f.Name()] {
+			pass.Reportf(f.Pos(),
+				"Stats.%s is not accumulated by (*Stats).Add; merged shard statistics would drop it", f.Name())
+		}
+		if !checked[f.Name()] {
+			pass.Reportf(f.Pos(),
+				"Stats.%s is not referenced by any invariant check; add a conservation law to checkStats", f.Name())
+		}
+	}
+}
+
+// receiverIs reports whether fd's receiver is named type tn or *tn.
+func receiverIs(info *types.Info, fd *ast.FuncDecl, tn *types.TypeName) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj() == tn
+}
+
+// collectStatsFields records, into out, the names of tn's struct fields
+// selected anywhere under node.
+func collectStatsFields(info *types.Info, node ast.Node, tn *types.TypeName, out map[string]bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := info.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := types.Unalias(recv).(*types.Named); ok && named.Obj() == tn {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+}

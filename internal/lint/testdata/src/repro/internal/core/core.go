@@ -1,0 +1,100 @@
+// Package core is a cachelint test fixture: each seeded violation
+// carries a "// want <analyzer>" marker that the unit tests match
+// against the analyzer output. It is loaded only by internal/lint's
+// tests, never by the build.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stats mirrors the real core.Stats shape for the statscoverage rule.
+type Stats struct {
+	Merged     uint64
+	NotMerged  uint64 // want statscoverage
+	NotChecked uint64 // want statscoverage
+}
+
+// Add merges shard statistics — but forgets NotMerged.
+func (s *Stats) Add(o *Stats) {
+	s.Merged += o.Merged
+	s.NotChecked += o.NotChecked
+}
+
+type system struct{ stats Stats }
+
+// CheckInvariants references Merged and NotMerged but not NotChecked.
+func (s *system) CheckInvariants() error {
+	if s.stats.Merged > 0 && s.stats.NotMerged > s.stats.Merged {
+		return errWrapped()
+	}
+	return nil
+}
+
+// ErrFixture is a legal package-level sentinel.
+var ErrFixture = errors.New("core: fixture")
+
+func errWrapped() error {
+	return fmt.Errorf("context: %v", ErrFixture) // want errwrap
+}
+
+func badSentinel() error {
+	return errors.New("core: minted per call") // want errwrap
+}
+
+func goodWrap() error {
+	return fmt.Errorf("context: %w", ErrFixture)
+}
+
+func boom() {
+	panic("kaboom") // want nopanic
+}
+
+func allowedBoom() {
+	//lint:allow nopanic fixture demonstrates a justified suppression
+	panic("sanctioned")
+}
+
+type mode int
+
+const (
+	mA mode = iota
+	mB
+	mC
+
+	numModes // counting sentinel: exempt from exhaustiveness
+)
+
+var modeNames = [numModes]string{"a", "b", "c"}
+
+func pick(m mode) string {
+	switch m { // want exhaustive
+	case mA:
+		return modeNames[mA]
+	case mB:
+		return modeNames[mB]
+	}
+	return ""
+}
+
+func pickDefault(m mode) string {
+	switch m {
+	case mA:
+		return modeNames[mA]
+	default:
+		return "other"
+	}
+}
+
+func pickAll(m mode) string {
+	switch m {
+	case mA, mB:
+		return "early"
+	case mC:
+		return modeNames[mC]
+	}
+	return ""
+}
+
+var _ = []any{badSentinel, goodWrap, boom, allowedBoom, pick, pickDefault, pickAll}

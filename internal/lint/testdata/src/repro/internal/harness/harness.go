@@ -1,0 +1,12 @@
+// Package harness is a cachelint fixture proving scope boundaries:
+// wall-clock reads and panics are legal outside the model and
+// determinism scopes, so this file must produce no findings.
+package harness
+
+import "time"
+
+func clock() time.Time { return time.Now() }
+
+func die() { panic("recovered by the harness, not linted") }
+
+var _ = []any{clock, die}

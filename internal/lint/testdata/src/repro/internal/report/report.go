@@ -1,0 +1,32 @@
+// Package report is a cachelint test fixture for the determinism rule.
+package report
+
+import (
+	"math/rand" // want determinism
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want determinism
+}
+
+func emit(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want determinism
+		total += v
+	}
+	return total + rand.Int()
+}
+
+func sortedEmit(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//lint:allow determinism keys are collected and sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var _ = []any{stamp, emit, sortedEmit}

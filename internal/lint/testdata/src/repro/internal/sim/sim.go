@@ -1,0 +1,10 @@
+// Package sim is a cachelint fixture for the directive rules: an
+// allow without a reason is itself reported and suppresses nothing.
+package sim
+
+func explode() {
+	//lint:allow nopanic
+	panic("a bare directive does not suppress") // want nopanic
+}
+
+var _ = explode

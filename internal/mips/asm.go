@@ -70,18 +70,6 @@ func Assemble(src string) (*Program, error) {
 	return a.finish()
 }
 
-// MustAssemble is Assemble that panics on error. It is reserved for
-// the embedded benchmark sources in internal/progs, whose assembly is
-// exercised by the test suite: a failure here is a compile-time bug in
-// a constant program, not a runtime condition worth an error path.
-func MustAssemble(src string) *Program {
-	p, err := Assemble(src)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 func (a *assembler) textAddr() uint32 { return TextBase + uint32(len(a.items))*4 }
 func (a *assembler) dataAddr() uint32 { return DataBase + uint32(len(a.data)) }
 
@@ -311,6 +299,8 @@ func (a *assembler) finish() (*Program, error) {
 				in.Imm = int32(v >> 16)
 			case symLo:
 				in.Imm = int32(v & 0xffff)
+			case symNone:
+				// Unreachable: guarded by the symNone test above.
 			}
 		}
 		w, err := Encode(in)

@@ -251,13 +251,10 @@ msg:	.asciiz "has # hash"
 	}
 }
 
-func TestMustAssemblePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("MustAssemble accepted bad source")
-		}
-	}()
-	MustAssemble("main:\tbogus")
+func TestAssembleRejectsBadSource(t *testing.T) {
+	if _, err := Assemble("main:\tbogus"); err == nil {
+		t.Fatal("Assemble accepted bad source")
+	}
 }
 
 func TestRegisterAliases(t *testing.T) {

@@ -551,6 +551,10 @@ func readsIntReg(in Instr, r uint8) bool {
 		return in.Rs == r
 	case clsFMove:
 		return in.Op == OpMtc1 && in.Rt == r
+	case clsJ, clsFArith, clsFBC:
+		// Jumps take an immediate target; FP arithmetic and FP branches
+		// touch only the FP register file and condition bit.
+		return false
 	}
 	return false
 }

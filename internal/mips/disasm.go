@@ -2,6 +2,7 @@ package mips
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -95,13 +96,16 @@ func DisassembleWord(w uint32, pc uint32) string {
 // label annotations from the symbol table.
 func DisassembleProgram(p *Program) string {
 	byAddr := make(map[uint32][]string)
+	//lint:allow determinism bucketing only; each bucket is sorted before emission
 	for name, addr := range p.Symbols {
 		byAddr[addr] = append(byAddr[addr], name)
 	}
 	var b strings.Builder
 	for i, w := range p.Text {
 		pc := TextBase + uint32(i)*4
-		for _, label := range byAddr[pc] {
+		labels := byAddr[pc]
+		sort.Strings(labels)
+		for _, label := range labels {
 			fmt.Fprintf(&b, "%s:\n", label)
 		}
 		fmt.Fprintf(&b, "  %08x:  %08x  %s\n", pc, w, DisassembleWord(w, pc))

@@ -400,6 +400,9 @@ func init() {
 			iOpcode[info.op] = o
 		case clsFArith:
 			fArith[cop1Key{fmt: info.fmt, funct: info.funct}] = o
+		default:
+			// clsRegimm, clsJ, clsFMove, and clsFBC decode through
+			// dedicated paths in Decode, not through these tables.
 		}
 	}
 }

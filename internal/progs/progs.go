@@ -48,8 +48,21 @@ func (b Benchmark) Program(scale int) *mips.Program {
 	if p, ok := progCache[key]; ok {
 		return p
 	}
-	p := mips.MustAssemble(b.Source(scale))
+	p := mustAssemble(b.Source(scale))
 	progCache[key] = p
+	return p
+}
+
+// mustAssemble panics on assembly failure. The benchmark sources are
+// embedded constants exercised by the test suite, so a failure here is
+// a compile-time bug in a constant program, not a runtime condition
+// worth an error path. (mips itself is panic-free by cachelint's
+// nopanic rule; this package sits outside the model core.)
+func mustAssemble(src string) *mips.Program {
+	p, err := mips.Assemble(src)
+	if err != nil {
+		panic(err)
+	}
 	return p
 }
 

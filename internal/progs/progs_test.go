@@ -24,6 +24,15 @@ func runBench(t *testing.T, b Benchmark) (*trace.MemTrace, string) {
 	return tr, cpu.Output()
 }
 
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mustAssemble accepted bad source")
+		}
+	}()
+	mustAssemble("main:\tbogus")
+}
+
 func TestAllBenchmarksAssemble(t *testing.T) {
 	for _, b := range All() {
 		for _, scale := range []int{1, 2, 5} {

@@ -1,0 +1,26 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatPerProcess renders a per-process instruction-count map in a
+// stable order (sorted by process name), so multiprogramming reports
+// are byte-identical across runs regardless of map iteration order —
+// the pattern the determinism analyzer requires whenever aggregated
+// map data is emitted.
+func FormatPerProcess(perProc map[string]uint64) string {
+	names := make([]string, 0, len(perProc))
+	//lint:allow determinism keys are collected and sorted below
+	for name := range perProc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-12s %d\n", name, perProc[name])
+	}
+	return b.String()
+}

@@ -36,6 +36,8 @@ func Characterize(s Stream) Characterization {
 		case Store:
 			c.Stores++
 			dataPages[ev.Data>>pageShift] = struct{}{}
+		case None:
+			// No data reference to characterize.
 		}
 		if ev.Syscall {
 			c.Syscalls++

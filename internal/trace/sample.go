@@ -73,6 +73,8 @@ func CountKinds(s Stream) (instructions, loads, stores uint64) {
 			loads++
 		case Store:
 			stores++
+		case None:
+			// No data reference; the instruction only counts.
 		}
 	}
 	return
