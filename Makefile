@@ -13,8 +13,10 @@ build:
 test:
 	$(GO) test ./...
 
+# bench: run the suite and keep a dated machine-readable log of the
+# results (name -> ns/op + reported metrics) next to the console output.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 
 # lint: the repo-specific cachelint suite (internal/lint): nopanic,
 # errwrap, determinism, exhaustive, statscoverage. Non-zero exit on any

@@ -29,6 +29,11 @@ import (
 // the full-suite results recorded in EXPERIMENTS.md.
 var benchOpt = experiments.Options{MaxInstructions: 400_000}
 
+// benchParOpt is benchOpt with the sweep fanned over 8 workers, the
+// parallel counterpart for wall-clock comparisons (the reports are
+// byte-identical; see internal/experiments TestParallelReportsMatchSerial).
+var benchParOpt = experiments.Options{MaxInstructions: 400_000, Parallelism: 8}
+
 func BenchmarkTable1Characterize(b *testing.B) {
 	rec := workload.Record(1)
 	b.ResetTimer()
@@ -72,6 +77,18 @@ func BenchmarkFig5WritePolicy(b *testing.B) {
 	b.ReportMetric(float64(len(rows)), "configs")
 }
 
+// BenchmarkFig5WritePolicyParallel fans the 20-configuration write
+// policy sweep over 8 workers.
+func BenchmarkFig5WritePolicyParallel(b *testing.B) {
+	workload.Record(1)
+	b.ResetTimer()
+	var rows []experiments.Fig5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig5(benchParOpt)
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
 func BenchmarkFig5WritePolicyCalibrated(b *testing.B) {
 	var cross int
 	for i := 0; i < b.N; i++ {
@@ -84,6 +101,19 @@ func BenchmarkFig6L2Organization(b *testing.B) {
 	var rows []experiments.Fig6Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Fig6(benchOpt)
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
+// BenchmarkFig6L2OrganizationParallel is the same 28-configuration
+// sweep fanned over 8 workers; comparing it against the serial
+// benchmark above measures the across-config speedup on this machine.
+func BenchmarkFig6L2OrganizationParallel(b *testing.B) {
+	workload.Record(1) // record outside the timer, as the serial variant's first run does
+	b.ResetTimer()
+	var rows []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Fig6(benchParOpt)
 	}
 	b.ReportMetric(float64(len(rows)), "configs")
 }

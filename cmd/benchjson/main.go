@@ -1,0 +1,154 @@
+// Command benchjson turns `go test -bench` text output into a JSON
+// record. It reads the benchmark output on stdin, echoes it unchanged
+// to stdout (so it sits transparently in a pipe), and writes one JSON
+// document mapping each benchmark name to its iteration count, ns/op,
+// and any extra ReportMetric values (instr/s, configs, B/op, ...).
+//
+//	go test -bench=. -benchmem | benchjson -o BENCH_2026-08-06.json
+//
+// `make bench` uses it to keep a dated, machine-readable log of the
+// suite's performance next to the human-readable run.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed record of one benchmark line.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Log is the whole JSON document.
+type Log struct {
+	GoOS       string            `json:"goos,omitempty"`
+	GoArch     string            `json:"goarch,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "write the JSON log to this file (default stdout only)")
+	flag.Parse()
+
+	log, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encoding log: %w", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fmt.Errorf("writing log: %w", err)
+	}
+	fmt.Println("wrote", *out)
+	return nil
+}
+
+// parse scans benchmark output from r, echoing every line to echo, and
+// collects the Benchmark* result lines. Header lines (goos, goarch,
+// pkg, cpu) fill the log preamble; everything unrecognized is passed
+// through untouched.
+func parse(r io.Reader, echo io.Writer) (*Log, error) {
+	log := &Log{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			log.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			log.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			log.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			log.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseBenchLine(line)
+			if ok {
+				log.Benchmarks[name] = res
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading benchmark output: %w", err)
+	}
+	return log, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   42   123456 ns/op   7.5 instr/s   16 B/op
+//
+// i.e. a name, an iteration count, then value/unit pairs.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	// Trim the GOMAXPROCS suffix ("-8") so logs from machines with
+	// different core counts key identically.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			res.NsPerOp = val
+		} else {
+			res.Metrics[fields[i+1]] = val
+		}
+	}
+	if len(res.Metrics) == 0 {
+		res.Metrics = nil
+	}
+	return name, res, true
+}
+
+// sortedNames is kept for tests: the JSON encoder already sorts map
+// keys, so logs diff cleanly run to run.
+func sortedNames(log *Log) []string {
+	names := make([]string, 0, len(log.Benchmarks))
+	for name := range log.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.0GHz
+BenchmarkFig6L2Organization-8   	       2	 512345678 ns/op	        28.0 configs	 1024 B/op	       3 allocs/op
+BenchmarkSimulatorThroughput-8  	      34	  33990000 ns/op	  29415516 instr/s
+BenchmarkSystemStep   	42799341	        26.96 ns/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	var echoed strings.Builder
+	log, err := parse(strings.NewReader(sample), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echoed.String() != sample {
+		t.Errorf("echo is not a pass-through:\n%s", echoed.String())
+	}
+	if log.GoOS != "linux" || log.GoArch != "amd64" || log.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", log.GoOS, log.GoArch, log.Pkg)
+	}
+	want := []string{"BenchmarkFig6L2Organization", "BenchmarkSimulatorThroughput", "BenchmarkSystemStep"}
+	if got := sortedNames(log); !reflect.DeepEqual(got, want) {
+		t.Fatalf("names = %v, want %v", got, want)
+	}
+
+	fig6 := log.Benchmarks["BenchmarkFig6L2Organization"]
+	if fig6.Iterations != 2 || fig6.NsPerOp != 512345678 {
+		t.Errorf("fig6 = %+v", fig6)
+	}
+	if fig6.Metrics["configs"] != 28 || fig6.Metrics["B/op"] != 1024 || fig6.Metrics["allocs/op"] != 3 {
+		t.Errorf("fig6 metrics = %v", fig6.Metrics)
+	}
+
+	thr := log.Benchmarks["BenchmarkSimulatorThroughput"]
+	if thr.Metrics["instr/s"] != 29415516 {
+		t.Errorf("throughput metrics = %v", thr.Metrics)
+	}
+
+	// No GOMAXPROCS suffix on the last line; no extra metrics either.
+	step := log.Benchmarks["BenchmarkSystemStep"]
+	if step.NsPerOp != 26.96 || step.Metrics != nil {
+		t.Errorf("step = %+v", step)
+	}
+}
+
+func TestParseIgnoresMalformed(t *testing.T) {
+	in := "BenchmarkBroken notanumber 5 ns/op\nBenchmarkShort 1\n"
+	log, err := parse(strings.NewReader(in), &strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Benchmarks) != 0 {
+		t.Fatalf("parsed %v from malformed input", log.Benchmarks)
+	}
+}

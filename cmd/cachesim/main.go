@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -24,7 +25,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		preset    = flag.String("preset", "base", "architecture preset: base | optimized")
 		policy    = flag.String("policy", "", "override write policy: writeback | wmi | writeonly | subblock")
@@ -39,8 +40,20 @@ func run() error {
 		maxInstr  = flag.Uint64("max", 0, "stop after this many instructions (0 = all)")
 		traceFile = flag.String("trace", "", "simulate a single recorded trace file instead of the suite")
 		selfCheck = flag.Uint64("selfcheck", 0, "verify simulator invariants every N cycles (0 = off)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	cfg, err := buildConfig(*preset, *policy, *l2Size, *l2Access, *l2Split, *dirtyBuf, *lps)
 	if err != nil {

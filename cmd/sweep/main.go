@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/lint"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -45,7 +46,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	var (
 		exp       = flag.String("exp", "all", "experiment id or comma list; 'all' runs everything; 'list' prints ids")
 		scale     = flag.Int("scale", 1, "workload scale factor")
@@ -53,19 +54,33 @@ func run() error {
 		maxInstr  = flag.Uint64("max", 0, "cap instructions per configuration run (0 = full suite)")
 		csvDir    = flag.String("csv", "", "also export figure data as CSV files into this directory")
 		jobs      = flag.Int("jobs", 1, "experiments to run concurrently")
+		par       = flag.Int("par", -1, "configurations to simulate concurrently inside each experiment (-1 = all CPUs, 0 or 1 = serial); reports are byte-identical either way")
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit per experiment attempt (0 = none)")
 		retries   = flag.Int("retries", 0, "retry a failed experiment this many times")
 		keepGoing = flag.Bool("keep-going", false, "run remaining experiments after one fails")
 		manifest  = flag.String("manifest", "", "write a JSON run manifest to this file")
 		selfCheck = flag.Uint64("selfcheck", 0, "verify simulator invariants every N cycles (0 = off)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	opt := experiments.Options{
 		Scale:           *scale,
 		Level:           *level,
 		MaxInstructions: *maxInstr,
 		SelfCheck:       *selfCheck,
+		Parallelism:     *par,
 	}
 	if *exp == "list" {
 		for _, e := range experiments.Registry() {

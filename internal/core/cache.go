@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/trace"
 )
@@ -22,6 +23,8 @@ const (
 type cache struct {
 	geom     CacheGeom
 	sets     uint64
+	setMask  uint64   // sets-1, hoisted for the find fast path
+	ways     int      // geom.Ways, hoisted for the find fast path
 	offBits  uint     // log2(line bytes)
 	tags     []uint64 // per way*set: line address (addr >> offBits); tagInvalid when empty
 	flags    []uint8
@@ -38,6 +41,8 @@ func newCache(g CacheGeom) *cache {
 	c := &cache{
 		geom:     g,
 		sets:     uint64(sets),
+		setMask:  uint64(sets) - 1,
+		ways:     g.Ways,
 		offBits:  log2(uint64(g.LineWords * trace.WordBytes)),
 		tags:     make([]uint64, sets*g.Ways),
 		flags:    make([]uint8, sets*g.Ways),
@@ -51,13 +56,12 @@ func newCache(g CacheGeom) *cache {
 	return c
 }
 
+// log2 returns floor(log2(v)) for v >= 1 (0 for v == 0).
 func log2(v uint64) uint {
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
+	if v == 0 {
+		return 0
 	}
-	return n
+	return uint(bits.Len64(v)) - 1
 }
 
 // lineAddr returns the line-granular address (tag + index).
@@ -71,11 +75,21 @@ func (c *cache) wordOf(addr uint64) uint {
 	return uint(addr>>2) & uint(c.geom.LineWords-1)
 }
 
-// find returns the way holding line, or -1.
+// find returns the way holding line, or -1. This is the hottest
+// function in a simulation (every fetch, load, and store probes at
+// least one cache), so the set arithmetic is hoisted into precomputed
+// fields and the way scan runs over a subslice, which lets the compiler
+// prove the indexing in-bounds once instead of per way.
 func (c *cache) find(line uint64) int {
-	base := int(c.setOf(line)) * c.geom.Ways
-	for w := 0; w < c.geom.Ways; w++ {
-		if c.tags[base+w] == line {
+	base := int(line&c.setMask) * c.ways
+	if c.ways == 1 {
+		if c.tags[base] == line {
+			return base
+		}
+		return -1
+	}
+	for w, tag := range c.tags[base : base+c.ways] {
+		if tag == line {
 			return base + w
 		}
 	}

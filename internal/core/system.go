@@ -127,6 +127,13 @@ func (s *System) Step(pid mmu.PID, ev *trace.Event) error {
 	if s.fault != nil {
 		return s.fault
 	}
+	s.stepEvent(pid, ev)
+	return s.fault
+}
+
+// stepEvent executes one instruction unconditionally; callers check the
+// latched fault before and after.
+func (s *System) stepEvent(pid mmu.PID, ev *trace.Event) {
 	s.stats.Instructions++
 	s.now++ // issue cycle
 	if ev.Stall > 0 {
@@ -146,7 +153,44 @@ func (s *System) Step(pid mmu.PID, ev *trace.Event) error {
 		s.nextCheck = s.now + s.cfg.SelfCheck
 		s.fail(s.CheckInvariants())
 	}
-	return s.fault
+}
+
+// StepBatch simulates events of process pid back to back, without the
+// per-instruction interface dispatch a caller would otherwise pay, and
+// returns how many of evs were executed. Semantics are exactly n
+// successive Step calls: the returned n counts every attempted
+// instruction, including one that latched a fault (whose error is
+// returned, as Step would).
+//
+// The batch ends early, with a nil error, at two deterministic points:
+//
+//   - after an executed syscall event, so a scheduler can honor
+//     syscall-triggered context switches at the exact instruction a
+//     serial Step loop would; and
+//   - once the clock has advanced at least len(evs) cycles since entry.
+//     Every instruction costs at least one cycle, so a caller that
+//     wants to run to a deadline at most k cycles away passes at most k
+//     events and never overshoots; re-checking Now after the batch
+//     returns recovers the exact serial switch point.
+func (s *System) StepBatch(pid mmu.PID, evs []trace.Event) (int, error) {
+	if s.fault != nil {
+		if len(evs) == 0 {
+			return 0, s.fault
+		}
+		return 1, s.fault
+	}
+	stop := s.now + uint64(len(evs))
+	for i := range evs {
+		ev := &evs[i]
+		s.stepEvent(pid, ev)
+		if s.fault != nil {
+			return i + 1, s.fault
+		}
+		if ev.Syscall || s.now >= stop {
+			return i + 1, nil
+		}
+	}
+	return len(evs), nil
 }
 
 // Run consumes an entire single-process stream (convenience for tests,

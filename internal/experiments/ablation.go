@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/mmu"
 )
 
@@ -20,19 +21,23 @@ type AblationRow struct {
 // this shows what the depth buys).
 func AblationWBDepth(o Options) []AblationRow {
 	o = o.normalized()
-	var rows []AblationRow
-	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+	depths := []int{1, 2, 4, 8, 16, 32}
+	return sweep(o, len(depths), func(i int) AblationRow {
 		cfg := writeOnlyBase()
-		cfg.WBEntries = depth
-		st := run(cfg, o).Stats
-		rows = append(rows, AblationRow{
-			Label:  fmt.Sprintf("write buffer %2d x 1W", depth),
-			CPI:    st.CPI(),
-			MemCPI: st.MemoryCPI(),
-			L2Miss: st.L2MissRatio(),
-		})
+		cfg.WBEntries = depths[i]
+		return ablationRow(fmt.Sprintf("write buffer %2d x 1W", depths[i]), cfg, o)
+	})
+}
+
+// ablationRow simulates one labeled configuration of an ablation study.
+func ablationRow(label string, cfg core.Config, o Options) AblationRow {
+	st := run(cfg, o).Stats
+	return AblationRow{
+		Label:  label,
+		CPI:    st.CPI(),
+		MemCPI: st.MemoryCPI(),
+		L2Miss: st.L2MissRatio(),
 	}
-	return rows
 }
 
 // AblationWBOverlap toggles the drain-stream latency overlap, isolating
@@ -40,23 +45,16 @@ func AblationWBDepth(o Options) []AblationRow {
 // cycles of latency".
 func AblationWBOverlap(o Options) []AblationRow {
 	o = o.normalized()
-	var rows []AblationRow
-	for _, noOverlap := range []bool{false, true} {
+	modes := []bool{false, true}
+	return sweep(o, len(modes), func(i int) AblationRow {
 		cfg := writeOnlyBase()
-		cfg.WBNoOverlap = noOverlap
+		cfg.WBNoOverlap = modes[i]
 		label := "drains overlap L2 latency (paper)"
-		if noOverlap {
+		if modes[i] {
 			label = "drains serialized (no overlap)"
 		}
-		st := run(cfg, o).Stats
-		rows = append(rows, AblationRow{
-			Label:  label,
-			CPI:    st.CPI(),
-			MemCPI: st.MemoryCPI(),
-			L2Miss: st.L2MissRatio(),
-		})
-	}
-	return rows
+		return ablationRow(label, cfg, o)
+	})
 }
 
 // AblationColoring compares frame-allocation policies. Strict
@@ -66,38 +64,24 @@ func AblationWBOverlap(o Options) []AblationRow {
 // allocation abandons index predictability entirely.
 func AblationColoring(o Options) []AblationRow {
 	o = o.normalized()
-	var rows []AblationRow
-	for _, c := range []mmu.Coloring{mmu.ColoringStaggered, mmu.ColoringStrict, mmu.ColoringRandom} {
+	colorings := []mmu.Coloring{mmu.ColoringStaggered, mmu.ColoringStrict, mmu.ColoringRandom}
+	return sweep(o, len(colorings), func(i int) AblationRow {
 		cfg := writeOnlyBase()
-		cfg.MMU.Coloring = c
-		st := run(cfg, o).Stats
-		rows = append(rows, AblationRow{
-			Label:  "page coloring: " + c.String(),
-			CPI:    st.CPI(),
-			MemCPI: st.MemoryCPI(),
-			L2Miss: st.L2MissRatio(),
-		})
-	}
-	return rows
+		cfg.MMU.Coloring = colorings[i]
+		return ablationRow("page coloring: "+colorings[i].String(), cfg, o)
+	})
 }
 
 // AblationTLBPenalty charges a per-miss TLB penalty, quantifying the
 // effect the paper's CPI accounting leaves out.
 func AblationTLBPenalty(o Options) []AblationRow {
 	o = o.normalized()
-	var rows []AblationRow
-	for _, penalty := range []int{0, 10, 20, 40} {
+	penalties := []int{0, 10, 20, 40}
+	return sweep(o, len(penalties), func(i int) AblationRow {
 		cfg := writeOnlyBase()
-		cfg.TLBMissPenalty = penalty
-		st := run(cfg, o).Stats
-		rows = append(rows, AblationRow{
-			Label:  fmt.Sprintf("TLB miss penalty %2d cycles", penalty),
-			CPI:    st.CPI(),
-			MemCPI: st.MemoryCPI(),
-			L2Miss: st.L2MissRatio(),
-		})
-	}
-	return rows
+		cfg.TLBMissPenalty = penalties[i]
+		return ablationRow(fmt.Sprintf("TLB miss penalty %2d cycles", penalties[i]), cfg, o)
+	})
 }
 
 // FormatAblation renders an ablation table.

@@ -40,6 +40,13 @@ type Options struct {
 	// SelfCheck, when nonzero, makes every simulated system verify its
 	// runtime invariants every N cycles (core.Config.SelfCheck).
 	SelfCheck uint64
+	// Parallelism fans each experiment's configuration sweep over a
+	// worker pool: 0 runs serially on the calling goroutine (the
+	// default), n > 0 uses n workers, and any negative value uses
+	// runtime.NumCPU(). Results are assembled in sweep order, so serial
+	// and parallel runs of the same experiment produce byte-identical
+	// reports.
+	Parallelism int
 }
 
 func (o Options) normalized() Options {

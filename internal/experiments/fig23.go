@@ -20,21 +20,18 @@ type Fig2Row struct {
 func Fig2(o Options) []Fig2Row {
 	o = o.normalized()
 	levels := []int{1, 2, 4, 8, 16}
-	rows := make([]Fig2Row, 0, len(levels))
-	for _, level := range levels {
+	return sweep(o, len(levels), func(i int) Fig2Row {
 		lo := o
-		lo.Level = level
-		res := run(baseConfig(), lo)
-		st := res.Stats
-		rows = append(rows, Fig2Row{
-			Level:   level,
+		lo.Level = levels[i]
+		st := run(baseConfig(), lo).Stats
+		return Fig2Row{
+			Level:   levels[i],
 			L1IMiss: st.L1IMissRatio(),
 			L1DMiss: st.L1DMissRatio(),
 			L2Miss:  st.L2MissRatio(),
 			CPI:     st.CPI(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig2 renders the sweep.
@@ -62,21 +59,18 @@ type Fig3Row struct {
 func Fig3(o Options) []Fig3Row {
 	o = o.normalized()
 	slices := []uint64{10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000}
-	rows := make([]Fig3Row, 0, len(slices))
-	for _, slice := range slices {
+	return sweep(o, len(slices), func(i int) Fig3Row {
 		so := o
-		so.TimeSlice = slice
-		res := run(baseConfig(), so)
-		st := res.Stats
-		rows = append(rows, Fig3Row{
-			TimeSlice: slice,
+		so.TimeSlice = slices[i]
+		st := run(baseConfig(), so).Stats
+		return Fig3Row{
+			TimeSlice: slices[i],
 			L1IMiss:   st.L1IMissRatio(),
 			L1DMiss:   st.L1DMissRatio(),
 			L2Miss:    st.L2MissRatio(),
 			CPI:       st.CPI(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig3 renders the sweep.

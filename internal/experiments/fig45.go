@@ -73,28 +73,31 @@ var Fig5AccessTimes = []int{2, 4, 6, 8, 10}
 func Fig5(o Options) []Fig5Row {
 	o = o.normalized()
 	policies := []core.WritePolicy{core.WriteBack, core.WriteMissInvalidate, core.WriteOnly, core.Subblock}
-	rows := make([]Fig5Row, 0, len(policies)*len(Fig5AccessTimes))
-	for _, t := range Fig5AccessTimes {
-		for _, p := range policies {
-			cfg := core.Base()
-			cfg.WritePolicy = p
-			if p != core.WriteBack {
-				cfg.WBEntries = 8
-				cfg.WBEntryWords = 1
-			}
-			cfg.L2U.Timing = core.TimingForAccess(t)
-			res := run(cfg, o)
-			st := res.Stats
-			rows = append(rows, Fig5Row{
-				Policy:     p,
-				AccessTime: t,
-				CPI:        st.CPI(),
-				WriteHits:  st.CPIOf(core.CauseL1Write),
-				WBWait:     st.CPIOf(core.CauseWB),
-			})
+	return sweep(o, len(Fig5AccessTimes)*len(policies), func(i int) Fig5Row {
+		t := Fig5AccessTimes[i/len(policies)]
+		p := policies[i%len(policies)]
+		st := run(fig5Config(p, t), o).Stats
+		return Fig5Row{
+			Policy:     p,
+			AccessTime: t,
+			CPI:        st.CPI(),
+			WriteHits:  st.CPIOf(core.CauseL1Write),
+			WBWait:     st.CPIOf(core.CauseWB),
 		}
+	})
+}
+
+// fig5Config builds the base architecture with the given write policy
+// and L2 access time.
+func fig5Config(p core.WritePolicy, accessTime int) core.Config {
+	cfg := core.Base()
+	cfg.WritePolicy = p
+	if p != core.WriteBack {
+		cfg.WBEntries = 8
+		cfg.WBEntryWords = 1
 	}
-	return rows
+	cfg.L2U.Timing = core.TimingForAccess(accessTime)
+	return cfg
 }
 
 // FormatFig5 renders a policy-by-access-time CPI matrix.
@@ -127,27 +130,18 @@ func FormatFig5(rows []Fig5Row) string {
 func Fig5Calibrated(o Options) []Fig5Row {
 	o = o.normalized()
 	policies := []core.WritePolicy{core.WriteBack, core.WriteMissInvalidate, core.WriteOnly, core.Subblock}
-	rows := make([]Fig5Row, 0, len(policies)*len(Fig5AccessTimes))
-	for _, t := range Fig5AccessTimes {
-		for _, p := range policies {
-			cfg := core.Base()
-			cfg.WritePolicy = p
-			if p != core.WriteBack {
-				cfg.WBEntries = 8
-				cfg.WBEntryWords = 1
-			}
-			cfg.L2U.Timing = core.TimingForAccess(t)
-			st := runPaperLike(cfg, o).Stats
-			rows = append(rows, Fig5Row{
-				Policy:     p,
-				AccessTime: t,
-				CPI:        st.CPI(),
-				WriteHits:  st.CPIOf(core.CauseL1Write),
-				WBWait:     st.CPIOf(core.CauseWB),
-			})
+	return sweep(o, len(Fig5AccessTimes)*len(policies), func(i int) Fig5Row {
+		t := Fig5AccessTimes[i/len(policies)]
+		p := policies[i%len(policies)]
+		st := runPaperLike(fig5Config(p, t), o).Stats
+		return Fig5Row{
+			Policy:     p,
+			AccessTime: t,
+			CPI:        st.CPI(),
+			WriteHits:  st.CPIOf(core.CauseL1Write),
+			WBWait:     st.CPIOf(core.CauseWB),
 		}
-	}
-	return rows
+	})
 }
 
 // Fig5Crossover returns the smallest swept access time at which

@@ -50,20 +50,17 @@ var Fig6Orgs = []L2Org{
 // splitting to much larger sizes.
 func Fig6(o Options) []Fig6Row {
 	o = o.normalized()
-	rows := make([]Fig6Row, 0, len(Fig6Sizes)*len(Fig6Orgs))
-	for _, size := range Fig6Sizes {
-		for _, org := range Fig6Orgs {
-			res := run(fig6Config(size, org), o)
-			st := res.Stats
-			rows = append(rows, Fig6Row{
-				SizeWords: size,
-				Org:       org,
-				CPI:       st.CPI(),
-				MissRatio: st.L2MissRatio(),
-			})
+	return sweep(o, len(Fig6Sizes)*len(Fig6Orgs), func(i int) Fig6Row {
+		size := Fig6Sizes[i/len(Fig6Orgs)]
+		org := Fig6Orgs[i%len(Fig6Orgs)]
+		st := run(fig6Config(size, org), o).Stats
+		return Fig6Row{
+			SizeWords: size,
+			Org:       org,
+			CPI:       st.CPI(),
+			MissRatio: st.L2MissRatio(),
 		}
-	}
-	return rows
+	})
 }
 
 // Fig6Calibrated repeats the organization sweep on the paper-calibrated
@@ -72,19 +69,17 @@ func Fig6(o Options) []Fig6Row {
 // they did for the paper's workload.
 func Fig6Calibrated(o Options) []Fig6Row {
 	o = o.normalized()
-	rows := make([]Fig6Row, 0, len(Fig6Sizes)*len(Fig6Orgs))
-	for _, size := range Fig6Sizes {
-		for _, org := range Fig6Orgs {
-			st := runPaperLike(fig6Config(size, org), o).Stats
-			rows = append(rows, Fig6Row{
-				SizeWords: size,
-				Org:       org,
-				CPI:       st.CPI(),
-				MissRatio: st.L2MissRatio(),
-			})
+	return sweep(o, len(Fig6Sizes)*len(Fig6Orgs), func(i int) Fig6Row {
+		size := Fig6Sizes[i/len(Fig6Orgs)]
+		org := Fig6Orgs[i%len(Fig6Orgs)]
+		st := runPaperLike(fig6Config(size, org), o).Stats
+		return Fig6Row{
+			SizeWords: size,
+			Org:       org,
+			CPI:       st.CPI(),
+			MissRatio: st.L2MissRatio(),
 		}
-	}
-	return rows
+	})
 }
 
 // fig6Config builds the write-only base with the given L2 shape.

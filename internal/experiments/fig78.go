@@ -28,26 +28,23 @@ var (
 // fairly flat beyond 64 KW, spanning roughly 0.19 to 0.02 CPI.
 func Fig7(o Options) []SpeedSizeRow {
 	o = o.normalized()
-	var rows []SpeedSizeRow
-	for _, t := range SpeedSizeTimes {
-		for _, size := range SpeedSizeSizes {
-			cfg := writeOnlyBase()
-			cfg.L2Split = true
-			cfg.L2I = core.L2Bank{
-				Geom:   core.CacheGeom{SizeWords: size, LineWords: 32, Ways: 1},
-				Timing: core.TimingForAccess(t),
-			}
-			cfg.L2D = core.Base().L2U // 256 KW, 6 cycles
-			res := run(cfg, o)
-			st := res.Stats
-			rows = append(rows, SpeedSizeRow{
-				SizeWords:  size,
-				AccessTime: t,
-				CPI:        st.CPIOf(core.CauseL1IMiss) + st.CPIOf(core.CauseL2IMiss),
-			})
+	return sweep(o, len(SpeedSizeTimes)*len(SpeedSizeSizes), func(i int) SpeedSizeRow {
+		t := SpeedSizeTimes[i/len(SpeedSizeSizes)]
+		size := SpeedSizeSizes[i%len(SpeedSizeSizes)]
+		cfg := writeOnlyBase()
+		cfg.L2Split = true
+		cfg.L2I = core.L2Bank{
+			Geom:   core.CacheGeom{SizeWords: size, LineWords: 32, Ways: 1},
+			Timing: core.TimingForAccess(t),
 		}
-	}
-	return rows
+		cfg.L2D = core.Base().L2U // 256 KW, 6 cycles
+		st := run(cfg, o).Stats
+		return SpeedSizeRow{
+			SizeWords:  size,
+			AccessTime: t,
+			CPI:        st.CPIOf(core.CauseL1IMiss) + st.CPIOf(core.CauseL2IMiss),
+		}
+	})
 }
 
 // Fig8 sweeps the size and access time of a split L2-D with the
@@ -56,26 +53,23 @@ func Fig7(o Options) []SpeedSizeRow {
 // at 512 KW, so the data side wants roughly 8x the capacity.
 func Fig8(o Options) []SpeedSizeRow {
 	o = o.normalized()
-	var rows []SpeedSizeRow
-	for _, t := range SpeedSizeTimes {
-		for _, size := range SpeedSizeSizes {
-			cfg := writeOnlyBase()
-			cfg.L2Split = true
-			cfg.L2I = fastL2I()
-			cfg.L2D = core.L2Bank{
-				Geom:   core.CacheGeom{SizeWords: size, LineWords: 32, Ways: 1},
-				Timing: core.TimingForAccess(t),
-			}
-			res := run(cfg, o)
-			st := res.Stats
-			rows = append(rows, SpeedSizeRow{
-				SizeWords:  size,
-				AccessTime: t,
-				CPI:        st.CPIOf(core.CauseL1DMiss) + st.CPIOf(core.CauseL2DMiss),
-			})
+	return sweep(o, len(SpeedSizeTimes)*len(SpeedSizeSizes), func(i int) SpeedSizeRow {
+		t := SpeedSizeTimes[i/len(SpeedSizeSizes)]
+		size := SpeedSizeSizes[i%len(SpeedSizeSizes)]
+		cfg := writeOnlyBase()
+		cfg.L2Split = true
+		cfg.L2I = fastL2I()
+		cfg.L2D = core.L2Bank{
+			Geom:   core.CacheGeom{SizeWords: size, LineWords: 32, Ways: 1},
+			Timing: core.TimingForAccess(t),
 		}
-	}
-	return rows
+		st := run(cfg, o).Stats
+		return SpeedSizeRow{
+			SizeWords:  size,
+			AccessTime: t,
+			CPI:        st.CPIOf(core.CauseL1DMiss) + st.CPIOf(core.CauseL2DMiss),
+		}
+	})
 }
 
 // FormatSpeedSize renders one family of trade-off curves: one row per

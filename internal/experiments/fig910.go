@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // StageRow is one column of the staged-optimization histograms
@@ -40,22 +41,22 @@ func Fig9(o Options) []StageRow {
 	exchanged := fetch8
 	exchanged.L2I, exchanged.L2D = exchanged.L2D, exchanged.L2I
 
-	stages := []struct {
-		label string
-		cfg   core.Config
-	}{
+	stages := []labeledConfig{
 		{"write-only base (unified 256KW L2)", base},
 		{"+ split: 32KW 2-cyc L2-I, 256KW 6-cyc L2-D", split},
 		{"+ 8W L1 lines and fetch", fetch8},
 		{"(exchanged L2-I/L2-D shapes)", exchanged},
 	}
-	rows := make([]StageRow, 0, len(stages))
-	for _, s := range stages {
-		res := run(s.cfg, o)
-		st := res.Stats
-		rows = append(rows, StageRow{Label: s.label, CPI: st.CPI(), MemCPI: st.MemoryCPI()})
-	}
-	return rows
+	return runStages(stages, o, run)
+}
+
+// runStages simulates labeled configurations (in parallel when o asks)
+// with the given runner and collects stage rows in order.
+func runStages(stages []labeledConfig, o Options, runner func(core.Config, Options) sim.Result) []StageRow {
+	return sweep(o, len(stages), func(i int) StageRow {
+		st := runner(stages[i].cfg, o).Stats
+		return StageRow{Label: stages[i].label, CPI: st.CPI(), MemCPI: st.MemoryCPI()}
+	})
 }
 
 // Fig10 reproduces the Section 9 concurrency staging on top of the
@@ -64,14 +65,7 @@ func Fig9(o Options) []StageRow {
 // scheme), and the L2 dirty buffer.
 func Fig10(o Options) []StageRow {
 	o = o.normalized()
-	stages := fig10Stages()
-	rows := make([]StageRow, 0, len(stages))
-	for _, s := range stages {
-		res := run(s.cfg, o)
-		st := res.Stats
-		rows = append(rows, StageRow{Label: s.label, CPI: st.CPI(), MemCPI: st.MemoryCPI()})
-	}
-	return rows
+	return runStages(fig10Stages(), o, run)
 }
 
 // Fig10Calibrated repeats the concurrency staging on the
@@ -80,13 +74,7 @@ func Fig10(o Options) []StageRow {
 // figure the paper quotes.
 func Fig10Calibrated(o Options) []StageRow {
 	o = o.normalized()
-	stages := fig10Stages()
-	rows := make([]StageRow, 0, len(stages))
-	for _, s := range stages {
-		st := runPaperLike(s.cfg, o).Stats
-		rows = append(rows, StageRow{Label: s.label, CPI: st.CPI(), MemCPI: st.MemoryCPI()})
-	}
-	return rows
+	return runStages(fig10Stages(), o, runPaperLike)
 }
 
 // optimizedSansConcurrency is the Fig. 9 third column: everything up to

@@ -26,24 +26,23 @@ type PerBenchRow struct {
 func PerBench(o Options) []PerBenchRow {
 	o = o.normalized()
 	rec := workload.Record(o.Scale)
-	rows := make([]PerBenchRow, 0, len(rec))
-	for _, r := range rec {
+	return sweep(o, len(rec), func(i int) PerBenchRow {
+		r := rec[i]
 		cfg := core.Base()
 		cfg.SelfCheck = o.SelfCheck
 		res := must(sim.Run(cfg,
-			[]sched.Process{{Name: r.Name, Stream: r.Trace.Clone()}},
+			[]sched.Process{{Name: r.Name, Stream: r.Trace.NewCursor()}},
 			sched.Config{Level: 1, TimeSlice: o.TimeSlice, MaxInstructions: o.MaxInstructions}))
 		st := res.Stats
-		rows = append(rows, PerBenchRow{
+		return PerBenchRow{
 			Name:    r.Name,
 			Class:   string(r.Class),
 			L1IMiss: st.L1IMissRatio(),
 			L1DMiss: st.L1DMissRatio(),
 			L2Miss:  st.L2MissRatio(),
 			CPI:     st.CPI(),
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatPerBench renders the profile.

@@ -57,28 +57,29 @@ var L1SizeSweep = []struct {
 // keeps improving with size but time does not.
 func Sec5L1Size(o Options) []L1SizeRow {
 	o = o.normalized()
-	var rows []L1SizeRow
-	var baseTPI float64
-	for _, shape := range L1SizeSweep {
+	rows := sweep(o, len(L1SizeSweep), func(i int) L1SizeRow {
+		shape := L1SizeSweep[i]
 		cfg := baseConfig()
 		cfg.L1I.SizeWords = shape.SizeWords
 		cfg.L1I.Ways = shape.Ways
 		cfg.L1D.SizeWords = shape.SizeWords
 		cfg.L1D.Ways = shape.Ways
-		res := run(cfg, o)
 		cycle := l1CycleNS(shape.SizeWords, shape.Ways)
-		cpi := res.Stats.CPI()
-		row := L1SizeRow{
+		st := run(cfg, o).Stats
+		cpi := st.CPI()
+		return L1SizeRow{
 			SizeWords: shape.SizeWords,
 			Ways:      shape.Ways,
 			CycleNS:   cycle,
 			CPI:       cpi,
 			TPI:       cpi * cycle,
 		}
-		if shape.SizeWords == 4*1024 && shape.Ways == 1 {
-			baseTPI = row.TPI
+	})
+	var baseTPI float64
+	for _, r := range rows {
+		if r.SizeWords == 4*1024 && r.Ways == 1 {
+			baseTPI = r.TPI
 		}
-		rows = append(rows, row)
 	}
 	for i := range rows {
 		rows[i].TPI /= baseTPI
@@ -116,17 +117,15 @@ var FetchSizes = []int{4, 8, 16}
 // caches; 16 W loses.
 func Sec8FetchSize(o Options) []FetchRow {
 	o = o.normalized()
-	var rows []FetchRow
-	for _, ifetch := range FetchSizes {
-		for _, dfetch := range FetchSizes {
-			cfg := optimizedSansConcurrency()
-			cfg.L1I.LineWords = ifetch
-			cfg.L1D.LineWords = dfetch
-			res := run(cfg, o)
-			rows = append(rows, FetchRow{IFetch: ifetch, DFetch: dfetch, CPI: res.Stats.CPI()})
-		}
-	}
-	return rows
+	return sweep(o, len(FetchSizes)*len(FetchSizes), func(i int) FetchRow {
+		ifetch := FetchSizes[i/len(FetchSizes)]
+		dfetch := FetchSizes[i%len(FetchSizes)]
+		cfg := optimizedSansConcurrency()
+		cfg.L1I.LineWords = ifetch
+		cfg.L1D.LineWords = dfetch
+		st := run(cfg, o).Stats
+		return FetchRow{IFetch: ifetch, DFetch: dfetch, CPI: st.CPI()}
+	})
 }
 
 // Sec8FetchSizeCalibrated repeats the fetch-size sweep on the
@@ -135,17 +134,15 @@ func Sec8FetchSize(o Options) []FetchRow {
 // optimal and 16 W counterproductive.
 func Sec8FetchSizeCalibrated(o Options) []FetchRow {
 	o = o.normalized()
-	var rows []FetchRow
-	for _, ifetch := range FetchSizes {
-		for _, dfetch := range FetchSizes {
-			cfg := optimizedSansConcurrency()
-			cfg.L1I.LineWords = ifetch
-			cfg.L1D.LineWords = dfetch
-			st := runPaperLike(cfg, o).Stats
-			rows = append(rows, FetchRow{IFetch: ifetch, DFetch: dfetch, CPI: st.CPI()})
-		}
-	}
-	return rows
+	return sweep(o, len(FetchSizes)*len(FetchSizes), func(i int) FetchRow {
+		ifetch := FetchSizes[i/len(FetchSizes)]
+		dfetch := FetchSizes[i%len(FetchSizes)]
+		cfg := optimizedSansConcurrency()
+		cfg.L1I.LineWords = ifetch
+		cfg.L1D.LineWords = dfetch
+		st := runPaperLike(cfg, o).Stats
+		return FetchRow{IFetch: ifetch, DFetch: dfetch, CPI: st.CPI()}
+	})
 }
 
 // FormatFetch renders the fetch-size matrix (I fetch rows, D fetch

@@ -23,21 +23,33 @@ type SummaryRow struct {
 // 13.7% (for its workload). Measured on both of ours.
 func Summary(o Options) []SummaryRow {
 	o = o.normalized()
-	row := func(name string, runner func(core.Config, Options) sim.Result) SummaryRow {
-		base := runner(core.Base(), o).Stats
-		opt := runner(core.Optimized(), o).Stats
-		return SummaryRow{
-			Workload:   name,
+	type cell struct {
+		workload string
+		runner   func(core.Config, Options) sim.Result
+		cfg      core.Config
+	}
+	// Four independent runs: 2 workloads x {base, optimized}.
+	cells := []cell{
+		{"kernel suite", run, core.Base()},
+		{"kernel suite", run, core.Optimized()},
+		{"paper-calibrated", runPaperLike, core.Base()},
+		{"paper-calibrated", runPaperLike, core.Optimized()},
+	}
+	stats := sweep(o, len(cells), func(i int) core.Stats {
+		return cells[i].runner(cells[i].cfg, o).Stats
+	})
+	rows := make([]SummaryRow, 0, 2)
+	for i := 0; i < len(cells); i += 2 {
+		base, opt := stats[i], stats[i+1]
+		rows = append(rows, SummaryRow{
+			Workload:   cells[i].workload,
 			BaseCPI:    base.CPI(),
 			OptCPI:     opt.CPI(),
 			MemImprove: 1 - opt.MemoryCPI()/base.MemoryCPI(),
 			TotImprove: 1 - opt.CPI()/base.CPI(),
-		}
+		})
 	}
-	return []SummaryRow{
-		row("kernel suite", run),
-		row("paper-calibrated", runPaperLike),
-	}
+	return rows
 }
 
 // FormatSummary renders the comparison.

@@ -31,11 +31,16 @@ var determinismScope = pathIn(
 // Determinism forbids the nondeterminism sources in simulator and
 // reporting code: time.Now, the math/rand package (its global functions
 // are seeded per process; use the repo's explicit-seed generators in
-// internal/synth instead), and ranging over a map (iteration order is
-// randomized — collect the keys and sort them first).
+// internal/synth instead), ranging over a map (iteration order is
+// randomized — collect the keys and sort them first), and writes to
+// package-level state from functions that take no sync primitive.
+// The last rule exists because experiments.RunParallel fans
+// configuration runs over goroutines: shared mutable globals in any
+// package those runs enter are data races, and racy memoization is the
+// classic way byte-identical reports stop being byte-identical.
 var Determinism = &Analyzer{
 	Name:    "determinism",
-	Doc:     "simulator/report packages: no time.Now, no math/rand, no map iteration",
+	Doc:     "simulator/report packages: no time.Now, no math/rand, no map iteration, no unsynchronized global writes",
 	Applies: determinismScope,
 	Run:     runDeterminism,
 }
@@ -73,5 +78,102 @@ func runDeterminism(pass *Pass) {
 			}
 			return true
 		})
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// init runs once, before main, on one goroutine.
+			if fn.Recv == nil && fn.Name.Name == "init" {
+				continue
+			}
+			checkGlobalWrites(pass, info, fn)
+		}
 	}
+}
+
+// checkGlobalWrites reports assignments and ++/-- whose target is (or
+// is reached through) a package-level variable, inside a function that
+// never touches sync or sync/atomic. Using any sync primitive anywhere
+// in the function (including its closures) counts as synchronized: the
+// rule is a race tripwire for memoization caches and global counters,
+// not a lock-discipline prover.
+func checkGlobalWrites(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	if usesSyncPrimitive(info, fn) {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportIfGlobalWrite(pass, info, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportIfGlobalWrite(pass, info, n.X)
+		}
+		return true
+	})
+}
+
+// usesSyncPrimitive reports whether fn references anything exported by
+// sync or sync/atomic (Mutex methods, Once.Do, atomic.AddUint64, ...).
+func usesSyncPrimitive(info *types.Info, fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || found {
+			return !found
+		}
+		if obj, ok := info.Uses[sel.Sel]; ok && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportIfGlobalWrite resolves the base of an assignment target
+// (unwrapping index and field selections) and reports it when that base
+// is a package-level variable. Writes through pointers (*p = v, or a
+// base that is itself a local pointer) are out of reach of this
+// syntactic check and are left to the race detector.
+func reportIfGlobalWrite(pass *Pass, info *types.Info, lhs ast.Expr) {
+	base := lhs
+walk:
+	for {
+		switch e := base.(type) {
+		case *ast.ParenExpr:
+			base = e.X
+		case *ast.IndexExpr:
+			base = e.X
+		case *ast.SelectorExpr:
+			// A qualified reference (pkg.Var) resolves directly; a
+			// field selection (x.f) walks down to its receiver base.
+			if id, ok := e.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					base = e.Sel
+					continue
+				}
+			}
+			base = e.X
+		default:
+			break walk
+		}
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	if obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to package-level %s outside a sync-using function; parallel sweeps (experiments.RunParallel) enter this package from many goroutines — guard the state with a sync primitive or keep it per-run", obj.Name())
 }

@@ -13,9 +13,11 @@
 //     can match sentinels with errors.Is; sentinel errors must be
 //     package-level vars, not ad-hoc errors.New calls inside functions.
 //   - determinism: simulator and reporting packages may not read the
-//     wall clock, use the global math/rand, or iterate over maps — the
-//     paper's cycle-accounting figures must be bit-for-bit reproducible
-//     run to run.
+//     wall clock, use the global math/rand, iterate over maps, or write
+//     package-level state without a sync primitive — the paper's
+//     cycle-accounting figures must be bit-for-bit reproducible run to
+//     run, and parallel sweeps (experiments.RunParallel) enter these
+//     packages from many goroutines.
 //   - exhaustive: a switch over a small named constant "enum" type
 //     (trace record kinds, write policies, instruction classes) must
 //     cover every declared constant or carry a default clause.

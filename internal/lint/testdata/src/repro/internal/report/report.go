@@ -4,6 +4,7 @@ package report
 import (
 	"math/rand" // want determinism
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -29,4 +30,38 @@ func sortedEmit(m map[string]int) []string {
 	return keys
 }
 
-var _ = []any{stamp, emit, sortedEmit}
+// Package-level state mutated from simulator code: racy under
+// parallel sweeps unless the writer synchronizes.
+var (
+	memo    = map[string]int{}
+	counter int
+	table   struct{ rows int }
+	mu      sync.Mutex
+)
+
+func init() {
+	counter = 0 // init runs once before main: legal
+}
+
+func remember(k string, v int) {
+	memo[k] = v     // want determinism
+	counter++       // want determinism
+	table.rows += 1 // want determinism
+}
+
+func rememberLocked(k string, v int) {
+	mu.Lock()
+	defer mu.Unlock()
+	memo[k] = v
+	counter++
+}
+
+func localOnly(k string, v int) int {
+	scratch := map[string]int{}
+	scratch[k] = v
+	n := 0
+	n++
+	return n + len(scratch)
+}
+
+var _ = []any{stamp, emit, sortedEmit, remember, rememberLocked, localOnly}

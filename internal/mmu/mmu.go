@@ -69,7 +69,25 @@ type MMU struct {
 	nextFree []uint32          // per color, next frame index to hand out
 	itlb     *TLB
 	dtlb     *TLB
+	lastI    transCache // instruction-side last translation
+	lastD    transCache // data-side last translation
 }
+
+// transCache memoizes the most recent (pid, vpn) -> pfn translation of
+// one access port. Page mappings are assigned on first touch and never
+// change afterwards, so the memo can only ever agree with the page
+// table; it exists because instruction fetches in particular hit the
+// same page for long runs, and the map lookup in frameFor is one of the
+// hottest operations in a simulation. It is a pure software
+// memoization: TLB hit/miss accounting is untouched.
+type transCache struct {
+	key uint64 // pid<<32|vpn; transCacheEmpty when unset
+	pfn uint32
+}
+
+// transCacheEmpty can never collide with a real key: pid is 8 bits and
+// vpn 32, so real keys fit in 40 bits.
+const transCacheEmpty = ^uint64(0)
 
 // Config parameterizes an MMU.
 type Config struct {
@@ -133,6 +151,8 @@ func New(cfg Config) (*MMU, error) {
 		nextFree: make([]uint32, cfg.Colors),
 		itlb:     itlb,
 		dtlb:     dtlb,
+		lastI:    transCache{key: transCacheEmpty},
+		lastD:    transCache{key: transCacheEmpty},
 	}, nil
 }
 
@@ -181,19 +201,24 @@ func (m *MMU) frameFor(pid PID, vpn uint32) uint32 {
 // TranslateI translates an instruction-fetch address and reports whether
 // the access hit in the instruction TLB.
 func (m *MMU) TranslateI(pid PID, vaddr uint32) (paddr uint64, tlbHit bool) {
-	return m.translate(m.itlb, pid, vaddr)
+	return m.translate(m.itlb, &m.lastI, pid, vaddr)
 }
 
 // TranslateD translates a data access address and reports whether the
 // access hit in the data TLB.
 func (m *MMU) TranslateD(pid PID, vaddr uint32) (paddr uint64, tlbHit bool) {
-	return m.translate(m.dtlb, pid, vaddr)
+	return m.translate(m.dtlb, &m.lastD, pid, vaddr)
 }
 
-func (m *MMU) translate(tlb *TLB, pid PID, vaddr uint32) (uint64, bool) {
+func (m *MMU) translate(tlb *TLB, tc *transCache, pid PID, vaddr uint32) (uint64, bool) {
 	vpn := vaddr >> PageShift
 	hit := tlb.Access(pid, vpn)
-	pfn := m.frameFor(pid, vpn)
+	key := uint64(pid)<<32 | uint64(vpn)
+	pfn := tc.pfn
+	if tc.key != key {
+		pfn = m.frameFor(pid, vpn)
+		tc.key, tc.pfn = key, pfn
+	}
 	return uint64(pfn)<<PageShift | uint64(vaddr&OffsetMask), hit
 }
 

@@ -1,0 +1,58 @@
+// Package profiling wires the standard runtime/pprof profilers into
+// the command-line tools behind -cpuprofile / -memprofile flags, so a
+// slow sweep can be diagnosed with `go tool pprof` without editing the
+// tools. It is deliberately outside the determinism lint scope: profile
+// files are metadata about a run, not results of it.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (when non-empty) and returns
+// a stop function that ends the CPU profile and writes a heap profile
+// to memFile (when non-empty). Either path may be empty; with both
+// empty the returned stop is a no-op. Call stop exactly once, after the
+// measured work — profiles of failed runs are still worth keeping, so
+// run it even when the work errored.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("profiling: cpu profile: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// Material allocations only: collect garbage so the heap
+			// profile shows what the run keeps, not what it churned.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

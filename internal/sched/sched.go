@@ -32,6 +32,20 @@ type Target interface {
 	Now() uint64
 }
 
+// BatchTarget is a Target that can additionally execute a whole slice
+// of events in one call, eliminating the per-instruction interface
+// dispatch. StepBatch must behave exactly like successive Steps, with
+// two deterministic early stops: after an executed syscall event, and
+// once the clock has advanced at least len(evs) cycles since entry
+// (every instruction costs at least one cycle, so a batch of at most k
+// events can never run past a deadline k cycles away by more than the
+// final instruction — the same overshoot a serial Step loop has).
+// *core.System satisfies it.
+type BatchTarget interface {
+	Target
+	StepBatch(pid mmu.PID, evs []trace.Event) (n int, err error)
+}
+
 // Process names a benchmark trace to run.
 type Process struct {
 	Name   string
@@ -117,61 +131,148 @@ func Run(target Target, procs []Process, cfg Config) (Result, error) {
 		start()
 	}
 
+	bt, hasBatch := target.(BatchTarget)
+
 	startCycle := target.Now()
 	cur := 0
-	var ev trace.Event
 	for len(active) > 0 {
 		if cur >= len(active) {
 			cur = 0
 		}
 		p := active[cur]
 		sliceEnd := target.Now() + slice
-		terminated := false
-		for {
-			if !p.src.Next(&ev) {
-				if err := trace.StreamErr(p.src); err != nil {
-					res.finish(target.Now() - startCycle)
-					return res, fmt.Errorf("sched: process %q: trace stream after %d instructions: %w",
-						p.name, res.PerProcess[p.name], err)
-				}
-				terminated = true
-				break
-			}
-			err := target.Step(p.pid, &ev)
-			res.Instructions++
-			res.PerProcess[p.name]++
-			if err != nil {
-				res.finish(target.Now() - startCycle)
-				return res, fmt.Errorf("sched: process %q at instruction %d, cycle %d: %w",
-					p.name, res.Instructions, target.Now(), err)
-			}
-			if cfg.MaxInstructions > 0 && res.Instructions >= cfg.MaxInstructions {
-				res.finish(target.Now() - startCycle)
-				return res, nil
-			}
-			if ev.Syscall && !cfg.NoSyscallSwitch {
-				res.Switches++
-				res.SyscallSwitches++
-				break
-			}
-			if target.Now() >= sliceEnd {
-				res.Switches++
-				res.SliceSwitches++
-				break
-			}
+
+		var out quantumOutcome
+		var err error
+		if bs, ok := p.src.(trace.BatchStream); ok && hasBatch {
+			out, err = runQuantumBatched(bt, bs, p, &res, sliceEnd, cfg)
+		} else {
+			out, err = runQuantumSerial(target, p, &res, sliceEnd, cfg)
 		}
-		if terminated {
+		switch out {
+		case quantumFailed:
+			res.finish(target.Now() - startCycle)
+			return res, err
+		case quantumMaxed:
+			res.finish(target.Now() - startCycle)
+			return res, nil
+		case quantumTerminated:
 			res.Completed = append(res.Completed, p.name)
 			active = append(active[:cur], active[cur+1:]...)
 			start()
 			// The slot now holds the next process (or wrapped); do not
 			// advance so the replacement runs in the departed slot.
 			continue
+		case quantumSwitched:
+			cur++
 		}
-		cur++
 	}
 	res.finish(target.Now() - startCycle)
 	return res, nil
+}
+
+// quantumOutcome says why one process's turn on the CPU ended.
+type quantumOutcome uint8
+
+const (
+	quantumSwitched   quantumOutcome = iota // syscall or slice-expiry switch (counted in res)
+	quantumTerminated                       // the process's trace ran out
+	quantumMaxed                            // cfg.MaxInstructions reached
+	quantumFailed                           // target fault or stream error
+)
+
+// runQuantumSerial runs one time slice of p by stepping the target one
+// event at a time — the reference semantics, used for targets or
+// streams without batch support.
+func runQuantumSerial(target Target, p *process, res *Result, sliceEnd uint64, cfg Config) (quantumOutcome, error) {
+	var ev trace.Event
+	for {
+		if !p.src.Next(&ev) {
+			if err := trace.StreamErr(p.src); err != nil {
+				return quantumFailed, fmt.Errorf("sched: process %q: trace stream after %d instructions: %w",
+					p.name, res.PerProcess[p.name], err)
+			}
+			return quantumTerminated, nil
+		}
+		err := target.Step(p.pid, &ev)
+		res.Instructions++
+		res.PerProcess[p.name]++
+		if err != nil {
+			return quantumFailed, fmt.Errorf("sched: process %q at instruction %d, cycle %d: %w",
+				p.name, res.Instructions, target.Now(), err)
+		}
+		if cfg.MaxInstructions > 0 && res.Instructions >= cfg.MaxInstructions {
+			return quantumMaxed, nil
+		}
+		if ev.Syscall && !cfg.NoSyscallSwitch {
+			res.Switches++
+			res.SyscallSwitches++
+			return quantumSwitched, nil
+		}
+		if target.Now() >= sliceEnd {
+			res.Switches++
+			res.SliceSwitches++
+			return quantumSwitched, nil
+		}
+	}
+}
+
+// quantumBatchMax bounds one StepBatch call's event count, keeping the
+// slice handed to the target (and a Cursor's decode buffer) cache-sized
+// even for very long time slices.
+const quantumBatchMax = 4096
+
+// runQuantumBatched runs one time slice of p through the batched fast
+// path: events are peeked in bulk from the stream and handed to the
+// target in slices sized so a batch can never run past the points where
+// the serial loop would stop — the batch is capped at (sliceEnd - now)
+// events, so its cycle budget expires exactly at sliceEnd; it is capped
+// at the instructions remaining under cfg.MaxInstructions; and the
+// target stops it after an executed syscall. Statistics updates are
+// identical to the serial path, but the per-process map counter is
+// written once per batch instead of once per instruction.
+func runQuantumBatched(bt BatchTarget, bs trace.BatchStream, p *process, res *Result, sliceEnd uint64, cfg Config) (quantumOutcome, error) {
+	for {
+		now := bt.Now()
+		if now >= sliceEnd {
+			res.Switches++
+			res.SliceSwitches++
+			return quantumSwitched, nil
+		}
+		k := sliceEnd - now
+		if cfg.MaxInstructions > 0 {
+			if rem := cfg.MaxInstructions - res.Instructions; rem < k {
+				k = rem
+			}
+		}
+		if k > quantumBatchMax {
+			k = quantumBatchMax
+		}
+		evs := bs.Batch(int(k))
+		if len(evs) == 0 {
+			if err := trace.StreamErr(bs); err != nil {
+				return quantumFailed, fmt.Errorf("sched: process %q: trace stream after %d instructions: %w",
+					p.name, res.PerProcess[p.name], err)
+			}
+			return quantumTerminated, nil
+		}
+		n, err := bt.StepBatch(p.pid, evs)
+		bs.Skip(n)
+		res.Instructions += uint64(n)
+		res.PerProcess[p.name] += uint64(n)
+		if err != nil {
+			return quantumFailed, fmt.Errorf("sched: process %q at instruction %d, cycle %d: %w",
+				p.name, res.Instructions, bt.Now(), err)
+		}
+		if cfg.MaxInstructions > 0 && res.Instructions >= cfg.MaxInstructions {
+			return quantumMaxed, nil
+		}
+		if !cfg.NoSyscallSwitch && evs[n-1].Syscall {
+			res.Switches++
+			res.SyscallSwitches++
+			return quantumSwitched, nil
+		}
+	}
 }
 
 func (r *Result) finish(cycles uint64) {

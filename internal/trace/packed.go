@@ -1,0 +1,230 @@
+package trace
+
+// Recorded is an immutable, compactly packed recording of a finite
+// event stream — the in-memory equivalent of a pixie trace tape that
+// many cache configurations replay concurrently. It exists for the
+// innermost loop of a sweep: a packed suite is roughly half the size of
+// the equivalent []Event, so more of a multi-million-instruction
+// recording stays in cache while a worker pool replays it, and a
+// Cursor's batch decoding keeps the replay sequential and branch-
+// predictable.
+//
+// The encoding is a stream of uint32 words. Instruction PCs are word
+// aligned on the target (MIPS-I), so the two low bits of the leading
+// word carry a tag:
+//
+//	00  plain instruction: PC only (no data ref, stall, or syscall)
+//	01  PC + meta word (stall/syscall, but no data reference)
+//	10  PC + meta word + data word (loads and stores)
+//	11  escape for an unaligned PC: meta, data, then the full PC word
+//
+// The meta word packs Kind (bits 0-7), Size (8-15), Stall (16-23) and
+// Syscall (bit 24). Every Event round-trips exactly; the tags only
+// shorten the common cases (a plain instruction is 4 bytes instead of
+// 12).
+//
+// A Recorded is append-only while packing and immutable afterwards:
+// any number of Cursors may replay it concurrently.
+type Recorded struct {
+	words []uint32
+	n     int
+}
+
+// Event tags (low two bits of the leading word).
+const (
+	tagPlain = 0 // PC word only
+	tagMeta  = 1 // PC word + meta
+	tagData  = 2 // PC word + meta + data
+	tagRaw   = 3 // tag word + meta + data + full unaligned PC
+)
+
+// Meta word layout.
+const (
+	metaKindShift    = 0
+	metaSizeShift    = 8
+	metaStallShift   = 16
+	metaSyscallShift = 24
+)
+
+// Pack drains s into a new packed recording.
+func Pack(s Stream) *Recorded {
+	r := &Recorded{}
+	var ev Event
+	for s.Next(&ev) {
+		r.Append(&ev)
+	}
+	return r
+}
+
+// Append adds one event to the end of the recording.
+func (r *Recorded) Append(ev *Event) {
+	meta := uint32(ev.Kind)<<metaKindShift |
+		uint32(ev.Size)<<metaSizeShift |
+		uint32(ev.Stall)<<metaStallShift
+	if ev.Syscall {
+		meta |= 1 << metaSyscallShift
+	}
+	switch {
+	case ev.PC&3 != 0:
+		r.words = append(r.words, tagRaw, meta, ev.Data, ev.PC)
+	case meta == 0 && ev.Data == 0:
+		r.words = append(r.words, ev.PC|tagPlain)
+	case ev.Data == 0:
+		r.words = append(r.words, ev.PC|tagMeta, meta)
+	default:
+		r.words = append(r.words, ev.PC|tagData, meta, ev.Data)
+	}
+	r.n++
+}
+
+// Len returns the number of recorded events.
+func (r *Recorded) Len() int { return r.n }
+
+// Bytes returns the packed size of the recording in bytes.
+func (r *Recorded) Bytes() int { return len(r.words) * 4 }
+
+// decode expands the event starting at word i into *ev and returns the
+// index of the next event's first word.
+func (r *Recorded) decode(i int, ev *Event) int {
+	w0 := r.words[i]
+	switch w0 & 3 {
+	case tagPlain:
+		*ev = Event{PC: w0}
+		return i + 1
+	case tagMeta:
+		m := r.words[i+1]
+		*ev = Event{
+			PC:      w0 &^ 3,
+			Kind:    Kind(m >> metaKindShift),
+			Size:    uint8(m >> metaSizeShift),
+			Stall:   uint8(m >> metaStallShift),
+			Syscall: m>>metaSyscallShift&1 != 0,
+		}
+		return i + 2
+	case tagData:
+		m := r.words[i+1]
+		*ev = Event{
+			PC:      w0 &^ 3,
+			Data:    r.words[i+2],
+			Kind:    Kind(m >> metaKindShift),
+			Size:    uint8(m >> metaSizeShift),
+			Stall:   uint8(m >> metaStallShift),
+			Syscall: m>>metaSyscallShift&1 != 0,
+		}
+		return i + 3
+	default: // tagRaw
+		m := r.words[i+1]
+		*ev = Event{
+			PC:      r.words[i+3],
+			Data:    r.words[i+2],
+			Kind:    Kind(m >> metaKindShift),
+			Size:    uint8(m >> metaSizeShift),
+			Stall:   uint8(m >> metaStallShift),
+			Syscall: m>>metaSyscallShift&1 != 0,
+		}
+		return i + 4
+	}
+}
+
+// NewCursor returns a replay cursor positioned at the first event. Each
+// cursor is independent; the recording itself is never mutated by
+// replay, so cursors over one Recorded are safe to drive from
+// different goroutines (one goroutine per cursor).
+func (r *Recorded) NewCursor() *Cursor { return &Cursor{r: r} }
+
+// cursorBatchMax bounds a cursor's decode-ahead buffer (events).
+const cursorBatchMax = 4096
+
+// Cursor replays a packed recording. It implements Stream for
+// event-at-a-time consumption and BatchStream for bulk replay: Batch
+// decodes a run of upcoming events into an internal buffer that Skip
+// then consumes, so a scheduler can hand whole slices to a batching
+// simulation target.
+type Cursor struct {
+	r   *Recorded
+	w   int     // index of the next undecoded word
+	buf []Event // decoded read-ahead
+	pos int     // events of buf already consumed
+}
+
+// Next implements Stream.
+func (c *Cursor) Next(ev *Event) bool {
+	if c.pos < len(c.buf) {
+		*ev = c.buf[c.pos]
+		c.pos++
+		return true
+	}
+	if c.w >= len(c.r.words) {
+		return false
+	}
+	c.w = c.r.decode(c.w, ev)
+	return true
+}
+
+// Batch implements BatchStream: it returns up to max upcoming events
+// without consuming them, decoding ahead into the cursor's buffer as
+// needed. The result is empty exactly when the cursor is exhausted and
+// stays valid until the next Batch or Next call.
+func (c *Cursor) Batch(max int) []Event {
+	if c.pos < len(c.buf) {
+		b := c.buf[c.pos:]
+		if len(b) > max {
+			b = b[:max]
+		}
+		return b
+	}
+	if max > cursorBatchMax {
+		max = cursorBatchMax
+	}
+	if max <= 0 {
+		return nil
+	}
+	if cap(c.buf) < max {
+		c.buf = make([]Event, max)
+	}
+	// This loop is the replay hot path of a sweep: it decodes straight
+	// into pre-sized buffer slots (no append, no intermediate Event
+	// copy) with the word stream held in locals. It is a manual inline
+	// of decode; keep the two in sync.
+	buf := c.buf[:max]
+	words := c.r.words
+	w, n := c.w, 0
+	for n < len(buf) && w < len(words) {
+		w0 := words[w]
+		tag := w0 & 3
+		if tag == tagPlain {
+			buf[n] = Event{PC: w0}
+			w++
+			n++
+			continue
+		}
+		m := words[w+1]
+		ev := Event{
+			PC:      w0 &^ 3,
+			Kind:    Kind(m >> metaKindShift),
+			Size:    uint8(m >> metaSizeShift),
+			Stall:   uint8(m >> metaStallShift),
+			Syscall: m>>metaSyscallShift&1 != 0,
+		}
+		switch tag {
+		case tagMeta:
+			w += 2
+		case tagData:
+			ev.Data = words[w+2]
+			w += 3
+		default: // tagRaw
+			ev.Data, ev.PC = words[w+2], words[w+3]
+			w += 4
+		}
+		buf[n] = ev
+		n++
+	}
+	c.w = w
+	c.buf = buf[:n]
+	c.pos = 0
+	return c.buf
+}
+
+// Skip implements BatchStream: it consumes n events, which must not
+// exceed the length of the last Batch result.
+func (c *Cursor) Skip(n int) { c.pos += n }

@@ -90,6 +90,24 @@ func StreamErr(s Stream) error {
 	return nil
 }
 
+// BatchStream is a Stream that can also expose runs of upcoming events
+// in bulk, so a consumer can hand whole slices to a batching simulation
+// target instead of paying an interface call per event.
+//
+// Batch returns up to max upcoming events WITHOUT consuming them; an
+// empty result means the stream is exhausted (for streams that also
+// implement Err, check StreamErr as with Next). The returned slice is
+// only valid until the next Batch or Next call, and must not be
+// mutated. Skip then consumes n events, where n must not exceed the
+// length of the last Batch result; a consumer that processes fewer
+// events than it peeked calls Skip with the smaller count and the rest
+// are re-presented by the next Batch or Next.
+type BatchStream interface {
+	Stream
+	Batch(max int) []Event
+	Skip(n int)
+}
+
 // MemTrace is an in-memory trace that can be replayed from the start any
 // number of times. The zero value is an empty trace.
 type MemTrace struct {
@@ -136,6 +154,19 @@ func (t *MemTrace) Next(ev *Event) bool {
 	t.pos++
 	return true
 }
+
+// Batch implements BatchStream. MemTrace batches are zero-copy views
+// into the backing slice.
+func (t *MemTrace) Batch(max int) []Event {
+	b := t.events[t.pos:]
+	if len(b) > max {
+		b = b[:max]
+	}
+	return b
+}
+
+// Skip implements BatchStream.
+func (t *MemTrace) Skip(n int) { t.pos += n }
 
 // Clone returns a new MemTrace sharing the same events, rewound to the
 // start. Clones let several scheduler processes replay one trace

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRecordConcurrent hammers Record from many goroutines; under
+// -race this verifies the once-per-scale memoization (the map access
+// and the single recording pass), and in any mode it verifies all
+// callers of a scale share one recording. One scale keeps the test
+// cheap: recording happens at most once per test binary.
+func TestRecordConcurrent(t *testing.T) {
+	const callers = 8
+	var wg sync.WaitGroup
+	got := make([][]Recorded, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = Record(1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if len(got[i]) != len(got[0]) {
+			t.Fatalf("caller %d saw %d members, caller 0 saw %d", i, len(got[i]), len(got[0]))
+		}
+		for k := range got[i] {
+			if got[i][k].Trace != got[0][k].Trace {
+				t.Errorf("caller %d member %d: trace not shared with caller 0", i, k)
+			}
+		}
+	}
+	// Concurrent replay of a shared recording must not interact.
+	rec := got[0]
+	var rg sync.WaitGroup
+	counts := make([]int, 4)
+	for i := range counts {
+		rg.Add(1)
+		go func(i int) {
+			defer rg.Done()
+			c := rec[0].Trace.NewCursor()
+			b := c.Batch(1 << 20)
+			for len(b) > 0 {
+				counts[i] += len(b)
+				c.Skip(len(b))
+				b = c.Batch(1 << 20)
+			}
+		}(i)
+	}
+	rg.Wait()
+	for i, n := range counts {
+		if n != rec[0].Trace.Len() {
+			t.Errorf("replayer %d saw %d events, want %d", i, n, rec[0].Trace.Len())
+		}
+	}
+}

@@ -129,46 +129,65 @@ func PaperLike(n int, instructions uint64) []sched.Process {
 	return procs
 }
 
-// Recorded is a suite member's captured trace, replayable any number of
-// times.
+// Recorded is a suite member's captured trace in the packed
+// representation, replayable any number of times. The trace is
+// immutable and shared: every replayer takes its own cursor
+// (Trace.NewCursor), so one recorded suite can feed any number of
+// concurrently simulated configurations.
 type Recorded struct {
 	Name  string
 	Class progs.Class
-	Trace *trace.MemTrace
+	Trace *trace.Recorded
+}
+
+// recordEntry memoizes one scale's recording. The once gate means
+// concurrent first callers of Record for the same scale share a single
+// recording pass (and later callers pay only the map lookup), while
+// different scales record independently without serializing on a
+// global lock.
+type recordEntry struct {
+	once sync.Once
+	rs   []Recorded
 }
 
 var (
-	recordMu    sync.Mutex
-	recordCache = map[int][]Recorded{}
+	recordMu    sync.Mutex // guards the map only, never held while recording
+	recordCache = map[int]*recordEntry{}
 )
 
 // Record captures every member's full trace at the given scale. Results
-// are memoized per scale; the traces are shared, so callers must only
-// replay via Clone (which Processes of RecordedSuite does).
+// are memoized per scale and safe for concurrent callers: the returned
+// slice and its traces are shared and immutable, so callers must only
+// replay via cursors (which ReplayProcesses does).
 func Record(scale int) []Recorded {
 	if scale < 1 {
 		scale = 1
 	}
 	recordMu.Lock()
-	defer recordMu.Unlock()
-	if rs, ok := recordCache[scale]; ok {
-		return rs
+	e, ok := recordCache[scale]
+	if !ok {
+		e = &recordEntry{}
+		recordCache[scale] = e
 	}
-	members := Members()
-	rs := make([]Recorded, len(members))
-	for i, m := range members {
-		rs[i] = Recorded{Name: m.Name, Class: m.Class, Trace: trace.Collect(m.NewStream(scale))}
-	}
-	recordCache[scale] = rs
-	return rs
+	recordMu.Unlock()
+	e.once.Do(func() {
+		members := Members()
+		rs := make([]Recorded, len(members))
+		for i, m := range members {
+			rs[i] = Recorded{Name: m.Name, Class: m.Class, Trace: trace.Pack(m.NewStream(scale))}
+		}
+		e.rs = rs
+	})
+	return e.rs
 }
 
 // ReplayProcesses returns scheduler processes that replay recorded
-// traces from the beginning. Safe to call repeatedly for sweep runs.
+// traces from the beginning. Safe to call repeatedly — and from
+// multiple goroutines, each driving its own system — for sweep runs.
 func ReplayProcesses(recorded []Recorded) []sched.Process {
 	procs := make([]sched.Process, len(recorded))
 	for i, r := range recorded {
-		procs[i] = sched.Process{Name: r.Name, Stream: r.Trace.Clone()}
+		procs[i] = sched.Process{Name: r.Name, Stream: r.Trace.NewCursor()}
 	}
 	return procs
 }
@@ -185,7 +204,7 @@ type Row struct {
 func Table1(recorded []Recorded) []Row {
 	rows := make([]Row, len(recorded))
 	for i, r := range recorded {
-		rows[i] = Row{Name: r.Name, Class: r.Class, Char: trace.Characterize(r.Trace.Clone())}
+		rows[i] = Row{Name: r.Name, Class: r.Class, Char: trace.Characterize(r.Trace.NewCursor())}
 	}
 	return rows
 }
