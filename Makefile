@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint verify fuzz sweep
+.PHONY: all build test bench lint verify fuzz sweep serve load
 
 all: build
 
@@ -39,3 +39,12 @@ fuzz:
 # sweep: regenerate every table and figure, fault-tolerantly.
 sweep:
 	$(GO) run ./cmd/sweep -exp all -jobs 4 -keep-going -manifest sweep-manifest.json
+
+# serve: run the result-caching simulation daemon (see README "Serving").
+serve:
+	$(GO) run ./cmd/cachesimd -addr localhost:8344
+
+# load: drive a running daemon with a zipf-skewed request mix and
+# report latency split by cache outcome (start `make serve` first).
+load:
+	$(GO) run ./cmd/simload -addr localhost:8344 -c 8 -duration 20s

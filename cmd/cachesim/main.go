@@ -9,7 +9,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -55,7 +55,21 @@ func run() (err error) {
 		}
 	}()
 
-	cfg, err := buildConfig(*preset, *policy, *l2Size, *l2Access, *l2Split, *dirtyBuf, *lps)
+	if *scale < 1 {
+		return fmt.Errorf("-scale must be >= 1 (got %d)", *scale)
+	}
+	if *level < 1 {
+		return fmt.Errorf("-level must be >= 1 (got %d)", *level)
+	}
+	cfg, err := experiments.BuildConfig(experiments.ConfigSpec{
+		Preset:      *preset,
+		Policy:      *policy,
+		L2KW:        *l2Size,
+		L2Access:    *l2Access,
+		Split:       *l2Split,
+		DirtyBuffer: *dirtyBuf,
+		LPS:         *lps,
+	})
 	if err != nil {
 		return err
 	}
@@ -100,65 +114,4 @@ func run() (err error) {
 		fmt.Printf("per-process instructions:\n%s", report.FormatPerProcess(res.Sched.PerProcess))
 	}
 	return nil
-}
-
-func buildConfig(preset, policy string, l2KW, l2Access int, split, dirtyBuf bool, lps string) (core.Config, error) {
-	var cfg core.Config
-	switch preset {
-	case "base":
-		cfg = core.Base()
-	case "optimized":
-		cfg = core.Optimized()
-	default:
-		return cfg, fmt.Errorf("unknown preset %q", preset)
-	}
-	switch policy {
-	case "":
-	case "writeback":
-		cfg.WritePolicy = core.WriteBack
-		cfg.WBEntries, cfg.WBEntryWords = 4, 4
-		cfg.LoadsPassStores = core.LPSNone
-	case "wmi":
-		cfg.WritePolicy = core.WriteMissInvalidate
-		cfg.WBEntries, cfg.WBEntryWords = 8, 1
-	case "writeonly":
-		cfg.WritePolicy = core.WriteOnly
-		cfg.WBEntries, cfg.WBEntryWords = 8, 1
-	case "subblock":
-		cfg.WritePolicy = core.Subblock
-		cfg.WBEntries, cfg.WBEntryWords = 8, 1
-	default:
-		return cfg, fmt.Errorf("unknown policy %q", policy)
-	}
-	if lps != "" && cfg.WritePolicy == core.WriteMissInvalidate && lps == "dirtybit" {
-		return cfg, fmt.Errorf("the dirty-bit scheme requires the write-only policy")
-	}
-	if l2KW > 0 {
-		cfg.L2U.Geom.SizeWords = l2KW * 1024
-	}
-	if l2Access > 0 {
-		cfg.L2U.Timing = core.TimingForAccess(l2Access)
-	}
-	if split && !cfg.L2Split {
-		cfg.L2Split = true
-		cfg.L2I, cfg.L2D = core.SplitBank(cfg.L2U)
-	}
-	if dirtyBuf {
-		cfg.L2DirtyBuffer = true
-	}
-	switch lps {
-	case "":
-	case "none":
-		cfg.LoadsPassStores = core.LPSNone
-	case "assoc":
-		cfg.LoadsPassStores = core.LPSAssociative
-	case "dirtybit":
-		cfg.LoadsPassStores = core.LPSDirtyBit
-	default:
-		return cfg, fmt.Errorf("unknown loads-pass-stores scheme %q", lps)
-	}
-	if err := cfg.Validate(); err != nil {
-		return cfg, err
-	}
-	return cfg, nil
 }

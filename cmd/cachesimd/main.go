@@ -1,0 +1,115 @@
+// Command cachesimd serves the cache-study simulator as a long-running
+// HTTP JSON daemon: single-configuration runs (/v1/sim), whole
+// figure/table sweeps (/v1/sweep), and the operational endpoints a
+// production deployment needs (/healthz, /readyz, /metrics).
+//
+// Identical requests are content-addressed: results are cached (LRU)
+// and concurrent duplicates coalesce onto one simulation, which the
+// simulator's byte-for-byte determinism makes sound. See the "Serving"
+// section of README.md.
+//
+// On SIGTERM/SIGINT the daemon stops accepting work, keeps /healthz
+// alive, fails /readyz, and drains in-flight simulations for up to
+// -drain-timeout before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "localhost:8344", "listen address")
+		workers      = flag.Int("workers", 2, "simulations allowed to run concurrently")
+		queueDepth   = flag.Int("queue", 32, "admissions that may wait for a worker before 429")
+		cacheEntries = flag.Int("cache-entries", 1024, "LRU result-cache bound")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Minute, "wall-clock limit per simulation")
+		par          = flag.Int("par", 0, "configurations each sweep simulates concurrently (-1 = all CPUs, 0 = serial)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight requests")
+	)
+	flag.Parse()
+
+	// Reject bad limits loudly before binding the port. service.Options
+	// validates ranges; the flag layer only needs to forbid the zero
+	// values that would otherwise silently mean "default".
+	switch {
+	case *workers < 1:
+		return fmt.Errorf("-workers must be >= 1 (got %d)", *workers)
+	case *queueDepth < 1:
+		return fmt.Errorf("-queue must be >= 1 (got %d)", *queueDepth)
+	case *cacheEntries < 1:
+		return fmt.Errorf("-cache-entries must be >= 1 (got %d)", *cacheEntries)
+	case *reqTimeout <= 0:
+		return fmt.Errorf("-request-timeout must be > 0 (got %v)", *reqTimeout)
+	case *drainTimeout <= 0:
+		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", *drainTimeout)
+	}
+
+	srv, err := service.New(service.Options{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *reqTimeout,
+		Parallelism:    *par,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	fmt.Printf("cachesimd: serving on http://%s (workers=%d queue=%d cache=%d)\n",
+		*addr, *workers, *queueDepth, *cacheEntries)
+
+	select {
+	case err := <-errCh:
+		return err // listener died before any signal
+	case sig := <-sigCh:
+		fmt.Printf("cachesimd: %v: draining (up to %v)\n", sig, *drainTimeout)
+	}
+
+	// Drain: readiness off, stop taking connections, let in-flight
+	// requests finish, then abandon stragglers.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	srv.Abort()
+	if shutdownErr != nil {
+		return fmt.Errorf("drain incomplete: %w", shutdownErr)
+	}
+	fmt.Println("cachesimd: drained, exiting")
+	return nil
+}

@@ -1,0 +1,179 @@
+// Command simload load-tests a running cachesimd daemon: it fires a
+// zipf-skewed mix of sweep requests at configurable concurrency for a
+// fixed duration, then reports throughput, error counts, and a latency
+// histogram split by cache outcome (hit vs computed). The zipf skew
+// mimics real study traffic — a few popular figure sweeps dominate,
+// with a long tail of one-off configurations — which is exactly the
+// regime a content-addressed result cache serves well; the hit/miss
+// median ratio it prints is the demonstration.
+//
+//	go run ./cmd/simload -addr localhost:8344 -c 8 -duration 30s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "simload:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	source  string // hit | miss | coalesced | error:<status>
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "localhost:8344", "cachesimd address")
+		conc     = flag.Int("c", 4, "concurrent clients")
+		duration = flag.Duration("duration", 15*time.Second, "how long to generate load")
+		skew     = flag.Float64("skew", 1.2, "zipf skew s (> 1; larger = hotter head)")
+		seed     = flag.Int64("seed", 1, "random seed for the request mix")
+		maxInstr = flag.Uint64("max", 200_000, "max_instructions per sweep request (0 = full suite; keep small for load tests)")
+		scales   = flag.Int("scales", 2, "number of workload scales in the mix (1..N)")
+	)
+	flag.Parse()
+	switch {
+	case *conc < 1:
+		return fmt.Errorf("-c must be >= 1 (got %d)", *conc)
+	case *duration <= 0:
+		return fmt.Errorf("-duration must be > 0 (got %v)", *duration)
+	case *skew <= 1:
+		return fmt.Errorf("-skew must be > 1 (got %g)", *skew)
+	case *scales < 1 || *scales > service.MaxScale:
+		return fmt.Errorf("-scales must be in [1,%d] (got %d)", service.MaxScale, *scales)
+	}
+
+	// The request universe: every registered experiment at each scale,
+	// zipf-ranked so a handful of (experiment, scale) pairs take most of
+	// the traffic.
+	var universe [][]byte
+	for scale := 1; scale <= *scales; scale++ {
+		for _, e := range experiments.Registry() {
+			body, err := json.Marshal(service.SweepRequest{
+				Experiment:      e.ID,
+				Scale:           scale,
+				MaxInstructions: *maxInstr,
+			})
+			if err != nil {
+				return fmt.Errorf("marshal request: %w", err)
+			}
+			universe = append(universe, body)
+		}
+	}
+
+	url := "http://" + *addr + "/v1/sweep"
+	client := &http.Client{}
+	deadline := time.Now().Add(*duration)
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(id)))
+			zipf := rand.NewZipf(rng, *skew, 1, uint64(len(universe)-1))
+			var local []sample
+			for time.Now().Before(deadline) {
+				body := universe[zipf.Uint64()]
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				lat := time.Since(start)
+				if err != nil {
+					local = append(local, sample{lat, "error:transport"})
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				src := resp.Header.Get("X-Cache")
+				if resp.StatusCode != http.StatusOK {
+					src = fmt.Sprintf("error:%d", resp.StatusCode)
+				}
+				local = append(local, sample{lat, src})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	if len(samples) == 0 {
+		return fmt.Errorf("no requests completed; is cachesimd running on %s?", *addr)
+	}
+	report(samples, *duration)
+	return nil
+}
+
+// report prints the latency study.
+func report(samples []sample, d time.Duration) {
+	byClass := map[string][]time.Duration{}
+	var all []time.Duration
+	for _, s := range samples {
+		byClass[s.source] = append(byClass[s.source], s.latency)
+		all = append(all, s.latency)
+	}
+	fmt.Printf("requests: %d in %v (%.1f req/s)\n", len(all), d, float64(len(all))/d.Seconds())
+	fmt.Printf("overall:  %s\n", describe(all))
+
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		fmt.Printf("%-9s %s\n", c+":", describe(byClass[c]))
+	}
+
+	hits, misses := byClass["hit"], byClass["miss"]
+	if len(hits) > 0 && len(misses) > 0 {
+		hm, mm := quantile(hits, 0.5), quantile(misses, 0.5)
+		fmt.Printf("cache effectiveness: median hit %v vs median miss %v — %.0fx faster\n",
+			hm, mm, float64(mm)/float64(hm))
+	}
+}
+
+func describe(ds []time.Duration) string {
+	return fmt.Sprintf("n=%-6d p50=%-10v p90=%-10v p99=%-10v max=%v",
+		len(ds), quantile(ds, 0.5), quantile(ds, 0.9), quantile(ds, 0.99), quantile(ds, 1))
+}
+
+// quantile returns the q-th latency of ds (exact, by sorting a copy).
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -65,6 +65,28 @@ func run() (err error) {
 	)
 	flag.Parse()
 
+	// Validate numeric flags up front: a bad value must be a clear
+	// error, not a silently clamped or misbehaving run. (-par keeps its
+	// two sentinel values: any negative means all CPUs, 0 means serial.)
+	switch {
+	case *jobs < 1:
+		return fmt.Errorf("-jobs must be >= 1 (got %d)", *jobs)
+	case *jobs > 1024:
+		return fmt.Errorf("-jobs %d is absurd; the registry has %d experiments (max 1024)", *jobs, len(experiments.Registry()))
+	case *par > 4096:
+		return fmt.Errorf("-par %d is absurd (max 4096; use -1 for all CPUs)", *par)
+	case *retries < 0:
+		return fmt.Errorf("-retries must be >= 0 (got %d)", *retries)
+	case *retries > 100:
+		return fmt.Errorf("-retries %d is absurd (max 100)", *retries)
+	case *scale < 1:
+		return fmt.Errorf("-scale must be >= 1 (got %d)", *scale)
+	case *level < 0:
+		return fmt.Errorf("-level must be >= 1, or 0 for the paper default (got %d)", *level)
+	case *timeout < 0:
+		return fmt.Errorf("-timeout must be >= 0 (got %v)", *timeout)
+	}
+
 	stopProf, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		return err

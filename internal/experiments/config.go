@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ConfigSpec names one simulated memory-system configuration the way
+// the CLIs and the service API describe it: a preset plus optional
+// overrides. It is the serializable, validatable form of the knobs
+// cmd/cachesim exposes as flags, shared with cmd/cachesimd's /v1/sim
+// endpoint so both entry points build byte-identical configurations.
+type ConfigSpec struct {
+	// Preset is the starting architecture: "base" (Section 2) or
+	// "optimized" (the paper's final design). Empty means "base".
+	Preset string `json:"preset,omitempty"`
+	// Policy overrides the write policy: "writeback" | "wmi" |
+	// "writeonly" | "subblock". Empty keeps the preset's policy.
+	Policy string `json:"policy,omitempty"`
+	// L2KW overrides the unified L2 size in kilowords (0 = preset).
+	L2KW int `json:"l2_kw,omitempty"`
+	// L2Access overrides the L2 access time in cycles (0 = preset).
+	L2Access int `json:"l2_access,omitempty"`
+	// Split divides the (unified) L2 into equal halves.
+	Split bool `json:"split,omitempty"`
+	// DirtyBuffer adds the L2 dirty buffer.
+	DirtyBuffer bool `json:"dirty_buffer,omitempty"`
+	// LPS selects the loads-pass-stores scheme: "none" | "assoc" |
+	// "dirtybit". Empty keeps the preset's scheme.
+	LPS string `json:"lps,omitempty"`
+}
+
+// BuildConfig materializes the spec into a validated core.Config.
+func BuildConfig(s ConfigSpec) (core.Config, error) {
+	var cfg core.Config
+	switch s.Preset {
+	case "", "base":
+		cfg = core.Base()
+	case "optimized":
+		cfg = core.Optimized()
+	default:
+		return cfg, fmt.Errorf("experiments: unknown preset %q (want base or optimized)", s.Preset)
+	}
+	switch s.Policy {
+	case "":
+	case "writeback":
+		cfg.WritePolicy = core.WriteBack
+		cfg.WBEntries, cfg.WBEntryWords = 4, 4
+		cfg.LoadsPassStores = core.LPSNone
+	case "wmi":
+		cfg.WritePolicy = core.WriteMissInvalidate
+		cfg.WBEntries, cfg.WBEntryWords = 8, 1
+	case "writeonly":
+		cfg.WritePolicy = core.WriteOnly
+		cfg.WBEntries, cfg.WBEntryWords = 8, 1
+	case "subblock":
+		cfg.WritePolicy = core.Subblock
+		cfg.WBEntries, cfg.WBEntryWords = 8, 1
+	default:
+		return cfg, fmt.Errorf("experiments: unknown write policy %q (want writeback, wmi, writeonly or subblock)", s.Policy)
+	}
+	if s.LPS != "" && cfg.WritePolicy == core.WriteMissInvalidate && s.LPS == "dirtybit" {
+		return cfg, fmt.Errorf("experiments: the dirty-bit scheme requires the write-only policy")
+	}
+	if s.L2KW < 0 {
+		return cfg, fmt.Errorf("experiments: negative L2 size %d KW", s.L2KW)
+	}
+	if s.L2KW > 0 {
+		cfg.L2U.Geom.SizeWords = s.L2KW * 1024
+	}
+	if s.L2Access < 0 {
+		return cfg, fmt.Errorf("experiments: negative L2 access time %d", s.L2Access)
+	}
+	if s.L2Access > 0 {
+		cfg.L2U.Timing = core.TimingForAccess(s.L2Access)
+	}
+	if s.Split && !cfg.L2Split {
+		cfg.L2Split = true
+		cfg.L2I, cfg.L2D = core.SplitBank(cfg.L2U)
+	}
+	if s.DirtyBuffer {
+		cfg.L2DirtyBuffer = true
+	}
+	switch s.LPS {
+	case "":
+	case "none":
+		cfg.LoadsPassStores = core.LPSNone
+	case "assoc":
+		cfg.LoadsPassStores = core.LPSAssociative
+	case "dirtybit":
+		cfg.LoadsPassStores = core.LPSDirtyBit
+	default:
+		return cfg, fmt.Errorf("experiments: unknown loads-pass-stores scheme %q (want none, assoc or dirtybit)", s.LPS)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("experiments: config spec %+v: %w", s, err)
+	}
+	return cfg, nil
+}

@@ -1,4 +1,4 @@
-package main
+package experiments
 
 import (
 	"testing"
@@ -7,21 +7,29 @@ import (
 )
 
 func TestBuildConfigPresets(t *testing.T) {
-	cfg, err := buildConfig("base", "", 0, 0, false, false, "")
+	cfg, err := BuildConfig(ConfigSpec{Preset: "base"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.WritePolicy != core.WriteBack || cfg.L2Split {
 		t.Fatalf("base preset wrong: %+v", cfg)
 	}
-	cfg, err = buildConfig("optimized", "", 0, 0, false, false, "")
+	// An empty preset means base.
+	dflt, err := BuildConfig(ConfigSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dflt.WritePolicy != cfg.WritePolicy || dflt.L2U != cfg.L2U {
+		t.Fatalf("empty preset differs from base: %+v", dflt)
+	}
+	cfg, err = BuildConfig(ConfigSpec{Preset: "optimized"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.WritePolicy != core.WriteOnly || !cfg.L2Split || !cfg.L2DirtyBuffer {
 		t.Fatalf("optimized preset wrong: %+v", cfg)
 	}
-	if _, err := buildConfig("bogus", "", 0, 0, false, false, ""); err == nil {
+	if _, err := BuildConfig(ConfigSpec{Preset: "bogus"}); err == nil {
 		t.Fatal("unknown preset accepted")
 	}
 }
@@ -33,7 +41,7 @@ func TestBuildConfigPolicyOverrides(t *testing.T) {
 		"writeonly": core.WriteOnly,
 		"subblock":  core.Subblock,
 	} {
-		cfg, err := buildConfig("base", policy, 0, 0, false, false, "")
+		cfg, err := BuildConfig(ConfigSpec{Preset: "base", Policy: policy})
 		if err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
@@ -47,13 +55,16 @@ func TestBuildConfigPolicyOverrides(t *testing.T) {
 			t.Fatalf("%s: buffer %dx%dW, want 8x1W", policy, cfg.WBEntries, cfg.WBEntryWords)
 		}
 	}
-	if _, err := buildConfig("base", "nonsense", 0, 0, false, false, ""); err == nil {
+	if _, err := BuildConfig(ConfigSpec{Preset: "base", Policy: "nonsense"}); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
 
 func TestBuildConfigL2AndSplit(t *testing.T) {
-	cfg, err := buildConfig("base", "writeonly", 64, 8, true, true, "dirtybit")
+	cfg, err := BuildConfig(ConfigSpec{
+		Preset: "base", Policy: "writeonly",
+		L2KW: 64, L2Access: 8, Split: true, DirtyBuffer: true, LPS: "dirtybit",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,15 +86,21 @@ func TestBuildConfigL2AndSplit(t *testing.T) {
 }
 
 func TestBuildConfigRejectsBadCombos(t *testing.T) {
-	if _, err := buildConfig("base", "wmi", 0, 0, false, false, "dirtybit"); err == nil {
+	if _, err := BuildConfig(ConfigSpec{Policy: "wmi", LPS: "dirtybit"}); err == nil {
 		t.Fatal("dirty-bit with WMI accepted")
 	}
-	if _, err := buildConfig("base", "", 0, 0, false, false, "warp"); err == nil {
+	if _, err := BuildConfig(ConfigSpec{LPS: "warp"}); err == nil {
 		t.Fatal("unknown LPS mode accepted")
 	}
 	// Loads-pass-stores on the base write-back policy must fail
 	// validation.
-	if _, err := buildConfig("base", "", 0, 0, false, false, "assoc"); err == nil {
+	if _, err := BuildConfig(ConfigSpec{LPS: "assoc"}); err == nil {
 		t.Fatal("LPS with write-back accepted")
+	}
+	if _, err := BuildConfig(ConfigSpec{L2KW: -4}); err == nil {
+		t.Fatal("negative L2 size accepted")
+	}
+	if _, err := BuildConfig(ConfigSpec{L2Access: -1}); err == nil {
+		t.Fatal("negative L2 access time accepted")
 	}
 }

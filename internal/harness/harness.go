@@ -123,6 +123,17 @@ func (m *Manifest) WriteFile(path string) error {
 // is non-nil when any job failed (or was skipped by fail-fast); the
 // manifest is complete and valid either way.
 func Run(specs []Spec, o Options) (*Manifest, error) {
+	return RunContext(context.Background(), specs, o)
+}
+
+// RunContext is Run under a parent context. Cancelling parent aborts
+// the batch the same way a fail-fast failure does: running attempts are
+// abandoned and recorded as KindCanceled failures, jobs not yet started
+// are recorded as skipped. cmd/cachesimd uses this to tie one request's
+// simulation to the request's lifetime, so a disconnected client (or a
+// server drain deadline) releases the worker slot instead of leaking a
+// doomed run.
+func RunContext(parent context.Context, specs []Spec, o Options) (*Manifest, error) {
 	workers := o.Workers
 	if workers <= 0 {
 		workers = 1
@@ -130,7 +141,7 @@ func Run(specs []Spec, o Options) (*Manifest, error) {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	m := &Manifest{Started: time.Now(), Jobs: len(specs), Results: make([]Result, len(specs))}

@@ -246,3 +246,124 @@ func TestRunErrorString(t *testing.T) {
 		}
 	}
 }
+
+// TestTimeoutReleasesWorkerSlot pins the property the service's
+// admission pool depends on: an attempt that hits its deadline frees
+// its worker slot for the next job and surfaces a typed *RunError of
+// kind timeout, rather than wedging the pool behind the hung goroutine.
+func TestTimeoutReleasesWorkerSlot(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var second atomic.Bool
+	specs := []Spec{
+		{ID: "hung", Title: "hung", Run: func(ctx context.Context) (string, error) {
+			<-release // ignores ctx: the harness must abandon it
+			return "", nil
+		}},
+		{ID: "next", Title: "next", Run: func(ctx context.Context) (string, error) {
+			second.Store(true)
+			return "ran", nil
+		}},
+	}
+	m, err := Run(specs, Options{Workers: 1, Timeout: 20 * time.Millisecond, KeepGoing: true})
+	if err == nil {
+		t.Fatal("want batch error for the timed-out job")
+	}
+	if !second.Load() {
+		t.Fatal("second job never ran: timed-out attempt did not release its slot")
+	}
+	hung := m.Results[0]
+	if hung.Status != StatusFailed || hung.Err == nil {
+		t.Fatalf("hung job: %+v", hung)
+	}
+	if hung.Err.Kind != KindTimeout {
+		t.Fatalf("kind %q, want %q", hung.Err.Kind, KindTimeout)
+	}
+	var re *RunError
+	if !errors.As(hung.Err, &re) {
+		t.Fatal("failure is not a typed *RunError")
+	}
+	if m.Results[1].Status != StatusOK {
+		t.Fatalf("next job: %+v", m.Results[1])
+	}
+}
+
+// TestRunContextCancelAbortsBatch: cancelling the parent context marks
+// the running attempt canceled (not timeout), skips unstarted jobs, and
+// returns promptly even though the Run function ignores its ctx.
+func TestRunContextCancelAbortsBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	specs := []Spec{
+		{ID: "running", Title: "running", Run: func(ctx context.Context) (string, error) {
+			close(started)
+			<-release
+			return "", nil
+		}},
+		{ID: "pending", Title: "pending", Run: func(ctx context.Context) (string, error) {
+			return "", nil
+		}},
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan struct{})
+	var m *Manifest
+	var err error
+	go func() {
+		m, err = RunContext(ctx, specs, Options{Workers: 1, Retries: 3, Backoff: time.Hour})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after parent cancellation")
+	}
+	if err == nil {
+		t.Fatal("want batch error after cancellation")
+	}
+	r := m.Results[0]
+	if r.Status != StatusFailed || r.Err == nil || r.Err.Kind != KindCanceled {
+		t.Fatalf("running job: %+v err %+v", r, r.Err)
+	}
+	// A canceled attempt is not retryable: no backoff-retry loop ran.
+	if r.Attempts != 1 {
+		t.Fatalf("attempts %d, want 1 (cancellation must not retry)", r.Attempts)
+	}
+	if m.Results[1].Status != StatusSkipped {
+		t.Fatalf("pending job: %+v", m.Results[1])
+	}
+	if m.Failed != 1 || m.Skipped != 1 {
+		t.Fatalf("counts: %+v", m)
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled parent runs nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	specs := []Spec{
+		{ID: "a", Title: "a", Run: func(ctx context.Context) (string, error) {
+			ran.Add(1)
+			return "", nil
+		}},
+		{ID: "b", Title: "b", Run: func(ctx context.Context) (string, error) {
+			ran.Add(1)
+			return "", nil
+		}},
+	}
+	m, err := RunContext(ctx, specs, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("want error for fully skipped batch")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran under a dead context", ran.Load())
+	}
+	if m.Skipped != 2 {
+		t.Fatalf("counts: %+v", m)
+	}
+}

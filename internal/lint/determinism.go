@@ -26,6 +26,13 @@ var determinismScope = pathIn(
 	"repro/internal/synth",
 	"repro/internal/experiments",
 	"repro/internal/report",
+	// The serving layer is in scope because its result cache replays
+	// stored bytes as if freshly simulated: any nondeterminism that
+	// leaked into a result body would break the byte-identity the cache
+	// is built on. Its operational metadata (latency metrics, uptime)
+	// is intentionally wall-clock-based and mutable, and is allowlisted
+	// at the few sites that touch the clock (see service/metrics.go).
+	"repro/internal/service",
 )
 
 // Determinism forbids the nondeterminism sources in simulator and

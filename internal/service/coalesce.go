@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// group implements request coalescing (singleflight): concurrent calls
+// with the same key share one execution of fn and all receive the same
+// result bytes. Unlike a cache, a flight exists only while its leader
+// runs; completed results live in the Cache instead.
+type group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when the leader finishes
+	body []byte
+	err  error
+}
+
+func newGroup() *group {
+	return &group{flights: make(map[string]*flight)}
+}
+
+// do runs fn once per concurrent key. The returned leader flag reports
+// whether this caller executed fn itself; followers block until the
+// leader finishes or their own ctx ends. A follower abandoning the wait
+// does not cancel the leader — the result is still wanted by everyone
+// else and, once computed, by the cache.
+func (g *group) do(ctx context.Context, key string, fn func() ([]byte, error)) (body []byte, leader bool, err error) {
+	if key == "" {
+		// Unhashable request: nothing to coalesce on.
+		body, err = fn()
+		return body, true, err
+	}
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.body, false, f.err
+		case <-ctx.Done():
+			return nil, false, fmt.Errorf("service: abandoned coalesced wait: %w", ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.body, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.body, true, f.err
+}

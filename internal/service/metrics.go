@@ -1,0 +1,151 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// now is the one sanctioned wall-clock read in this package. The
+// determinism analyzer bans time.Now from result-producing code because
+// simulated cycle counts must replay bit-for-bit; serving latency and
+// uptime are operational metadata about a run, not part of any result
+// body (result bytes are cached and replayed verbatim, so a timestamp
+// in them would break byte-identity anyway — see server.go, which keeps
+// timing in HTTP headers and /metrics only).
+//
+//lint:allow determinism serving-latency/uptime metadata only; results never embed wall-clock values
+func now() time.Time { return time.Now() }
+
+// histBuckets are latency bucket upper bounds: 1µs doubling to ~9 min,
+// plus an implicit overflow bucket. Cache hits land around the first
+// few buckets, full sweeps in the top ones.
+const histBuckets = 30
+
+// latencyHist is a fixed-bucket latency histogram.
+type latencyHist struct {
+	mu     sync.Mutex
+	counts [histBuckets + 1]uint64
+	total  uint64
+	sum    time.Duration
+}
+
+// bucketBound returns the upper bound of bucket i.
+func bucketBound(i int) time.Duration {
+	return time.Microsecond << uint(i)
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < histBuckets && d > bucketBound(i) {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// LatencySummary reports a histogram in milliseconds.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// summary snapshots the histogram. Quantiles are upper-bound estimates
+// from the bucket the q-th observation falls in.
+func (h *latencyHist) summary() LatencySummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := LatencySummary{Count: h.total}
+	if h.total == 0 {
+		return s
+	}
+	s.MeanMS = float64(h.sum) / float64(h.total) / float64(time.Millisecond)
+	quantile := func(q float64) float64 {
+		rank := uint64(q * float64(h.total))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i, c := range h.counts {
+			cum += c
+			if cum >= rank {
+				return float64(bucketBound(i)) / float64(time.Millisecond)
+			}
+		}
+		return float64(bucketBound(histBuckets)) / float64(time.Millisecond)
+	}
+	s.P50MS = quantile(0.50)
+	s.P90MS = quantile(0.90)
+	s.P99MS = quantile(0.99)
+	return s
+}
+
+// metrics aggregates the server's operational counters. All state is
+// either atomic or mutex-guarded; nothing here ever feeds back into
+// simulation results.
+type metrics struct {
+	start time.Time
+
+	requests  atomic.Uint64 // simulation API requests (sweep + sim)
+	errors    atomic.Uint64 // 4xx/5xx responses on those endpoints
+	overloads atomic.Uint64 // 429 responses
+	coalesced atomic.Uint64 // requests served by another request's flight
+	inFlight  atomic.Int64  // simulation requests currently in a handler
+	queued    atomic.Int64  // admissions waiting for a worker slot
+
+	all      latencyHist // every served simulation request
+	hitLat   latencyHist // cache-hit requests
+	computed latencyHist // requests that ran (or waited on) a simulation
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: now()}
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Requests      uint64         `json:"requests"`
+	Errors        uint64         `json:"errors"`
+	Overloads     uint64         `json:"overloads"`
+	QPS           float64        `json:"qps"`
+	InFlight      int64          `json:"in_flight"`
+	Queued        int64          `json:"queued"`
+	Coalesced     uint64         `json:"coalesced"`
+	Cache         CacheStats     `json:"cache"`
+	Latency       LatencySummary `json:"latency"`
+	LatencyHits   LatencySummary `json:"latency_hits"`
+	LatencyMisses LatencySummary `json:"latency_misses"`
+	CodeVersion   string         `json:"code_version"`
+}
+
+func (m *metrics) snapshot(cache CacheStats) MetricsSnapshot {
+	up := now().Sub(m.start).Seconds()
+	s := MetricsSnapshot{
+		UptimeSeconds: up,
+		Requests:      m.requests.Load(),
+		Errors:        m.errors.Load(),
+		Overloads:     m.overloads.Load(),
+		InFlight:      m.inFlight.Load(),
+		Queued:        m.queued.Load(),
+		Coalesced:     m.coalesced.Load(),
+		Cache:         cache,
+		Latency:       m.all.summary(),
+		LatencyHits:   m.hitLat.summary(),
+		LatencyMisses: m.computed.summary(),
+		CodeVersion:   CodeVersion,
+	}
+	if up > 0 {
+		s.QPS = float64(s.Requests) / up
+	}
+	return s
+}

@@ -1,0 +1,473 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options bounds the server. Zero values take the documented defaults;
+// Validate rejects nonsense before the server starts.
+type Options struct {
+	// Workers is the number of simulations allowed to run concurrently
+	// (default 2). Cache hits and coalesced waits never occupy a slot.
+	Workers int
+	// QueueDepth is how many admissions may wait for a worker slot
+	// beyond the ones running; the next one is shed with 429
+	// (default 32).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024).
+	CacheEntries int
+	// RequestTimeout is the wall-clock limit for one simulation
+	// (default 10 minutes; 0 keeps the default — a serving daemon must
+	// never host an unbounded request).
+	RequestTimeout time.Duration
+	// Parallelism is passed to experiments.Options for each sweep: how
+	// many configurations one experiment simulates concurrently
+	// (default 0 = serial; the worker pool is the outer concurrency).
+	Parallelism int
+}
+
+const (
+	defaultWorkers        = 2
+	defaultQueueDepth     = 32
+	defaultCacheEntries   = 1024
+	defaultRequestTimeout = 10 * time.Minute
+	maxWorkers            = 1024
+	maxQueueDepth         = 1 << 20
+	maxBodyBytes          = 1 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = defaultWorkers
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = defaultQueueDepth
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = defaultCacheEntries
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = defaultRequestTimeout
+	}
+	return o
+}
+
+// Validate rejects out-of-range limits with a clear error. It runs on
+// the defaulted options, so only genuinely bad values (negative,
+// absurd) fail.
+func (o Options) Validate() error {
+	o = o.withDefaults()
+	if o.Workers < 1 || o.Workers > maxWorkers {
+		return fmt.Errorf("service: workers must be in [1,%d] (got %d)", maxWorkers, o.Workers)
+	}
+	if o.QueueDepth < 1 || o.QueueDepth > maxQueueDepth {
+		return fmt.Errorf("service: queue depth must be in [1,%d] (got %d)", maxQueueDepth, o.QueueDepth)
+	}
+	if o.CacheEntries < 1 {
+		return fmt.Errorf("service: cache entries must be >= 1 (got %d)", o.CacheEntries)
+	}
+	if o.RequestTimeout < 0 {
+		return fmt.Errorf("service: request timeout must be >= 0 (got %v)", o.RequestTimeout)
+	}
+	if o.Parallelism < -1 || o.Parallelism > 4096 {
+		return fmt.Errorf("service: parallelism must be in [-1,4096] (got %d)", o.Parallelism)
+	}
+	return nil
+}
+
+// Server is the simulation-as-a-service daemon core: an http.Handler
+// plus the cache, coalescing group, and admission pool behind it.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	group   *group
+	metrics *metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	baseCtx    context.Context // serving lifetime; cancelled by Abort
+	baseCancel context.CancelFunc
+	draining   chan struct{} // closed by BeginDrain
+
+	// Injectable runners, replaced by tests to count and pace
+	// simulations without paying for real ones.
+	runSweep func(req SweepRequest) (string, error)
+	runSim   func(req SimRequest) (report.Report, error)
+}
+
+// New builds a Server with validated options.
+func New(o Options) (*Server, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       o,
+		cache:      NewCache(o.CacheEntries),
+		group:      newGroup(),
+		metrics:    newMetrics(),
+		sem:        make(chan struct{}, o.Workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		draining:   make(chan struct{}),
+	}
+	s.runSweep = s.defaultRunSweep
+	s.runSim = s.defaultRunSim
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP surface, ready for an http.Server or an
+// httptest.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips readiness off and rejects new simulation requests
+// with 503, while requests already in flight run to completion. Call it
+// before http.Server.Shutdown so load balancers stop sending traffic
+// that would be cut off.
+func (s *Server) BeginDrain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// Abort cancels the serving lifetime context: simulations still running
+// after the drain deadline are abandoned (their harness attempts report
+// canceled). The last resort of a forced shutdown.
+func (s *Server) Abort() { s.baseCancel() }
+
+// Metrics snapshots the operational counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.metrics.snapshot(s.cache.Stats())
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- default runners -------------------------------------------------
+
+func (s *Server) defaultRunSweep(req SweepRequest) (string, error) {
+	e, err := experiments.ByID(req.Experiment)
+	if err != nil {
+		return "", fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	return e.Run(experiments.Options{
+		Scale:           req.Scale,
+		Level:           req.Level,
+		MaxInstructions: req.MaxInstructions,
+		Parallelism:     s.opts.Parallelism,
+	})
+}
+
+func (s *Server) defaultRunSim(req SimRequest) (report.Report, error) {
+	cfg, err := experiments.BuildConfig(req.Config)
+	if err != nil {
+		return report.Report{}, fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	rec := workload.Record(req.Scale)
+	res, err := sim.Run(cfg, workload.ReplayProcesses(rec), sched.Config{
+		Level:           req.Level,
+		TimeSlice:       req.TimeSlice,
+		MaxInstructions: req.MaxInstructions,
+	})
+	if err != nil {
+		return report.Report{}, err
+	}
+	return report.New(cfg, res), nil
+}
+
+// --- request plumbing ------------------------------------------------
+
+// guarded runs compute through internal/harness: per-request timeout,
+// panic recovery, and a typed *harness.RunError on failure. It runs
+// under the serving lifetime, not the requesting client's context —
+// coalesced followers and future cache hits want the result even if the
+// first client hangs up.
+func (s *Server) guarded(id string, compute func() ([]byte, error)) ([]byte, error) {
+	spec := harness.Spec{ID: id, Title: id, Run: func(context.Context) (string, error) {
+		b, err := compute()
+		return string(b), err
+	}}
+	m, _ := harness.RunContext(s.baseCtx, []harness.Spec{spec}, harness.Options{
+		Workers: 1,
+		Timeout: s.opts.RequestTimeout,
+	})
+	res := m.Results[0]
+	switch res.Status {
+	case harness.StatusOK:
+		return []byte(res.Output), nil
+	case harness.StatusFailed:
+		return nil, res.Err
+	default: // skipped: the server was aborted before the run started
+		return nil, fmt.Errorf("service: aborted before start: %w", s.baseCtx.Err())
+	}
+}
+
+// acquire claims a worker slot, queueing up to QueueDepth admissions
+// and shedding the rest with ErrOverloaded.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	q := s.metrics.queued.Add(1)
+	defer s.metrics.queued.Add(-1)
+	if q > int64(s.opts.QueueDepth) {
+		return fmt.Errorf("%w: queue full (%d waiting)", ErrOverloaded, q-1)
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: gave up waiting for a worker slot: %w", ctx.Err())
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// serveResult is the shared serve path: cache lookup, coalesced
+// compute, store, respond. The response body for a given key is always
+// the same bytes; hit/miss/coalesced and elapsed time travel as
+// headers so repeats stay byte-identical.
+func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key string, compute func() ([]byte, error)) {
+	start := now()
+	s.metrics.requests.Add(1)
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	if body, ok := s.cache.Get(key); ok {
+		s.respond(w, start, "hit", key, body)
+		return
+	}
+	if s.isDraining() {
+		s.fail(w, ErrDraining)
+		return
+	}
+	body, leader, err := s.group.do(r.Context(), key, func() ([]byte, error) {
+		if err := s.acquire(r.Context()); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		b, err := s.guarded(key, compute)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, b)
+		return b, nil
+	})
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	source := "miss"
+	if !leader {
+		source = "coalesced"
+		s.metrics.coalesced.Add(1)
+	}
+	s.respond(w, start, source, key, body)
+}
+
+// respond writes a result body with its operational headers and records
+// latency.
+func (s *Server) respond(w http.ResponseWriter, start time.Time, source, key string, body []byte) {
+	elapsed := now().Sub(start)
+	s.metrics.all.observe(elapsed)
+	if source == "hit" {
+		s.metrics.hitLat.observe(elapsed)
+	} else {
+		s.metrics.computed.observe(elapsed)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Cache", source)
+	h.Set("X-Cache-Key", key)
+	h.Set("X-Elapsed-Us", strconv.FormatInt(elapsed.Microseconds(), 10))
+	w.Write(body)
+}
+
+// fail maps an error to its HTTP status and writes a JSON error body.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.metrics.errors.Add(1)
+	status := http.StatusInternalServerError
+	var re *harness.RunError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusTooManyRequests
+		s.metrics.overloads.Add(1)
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.As(err, &re):
+		switch re.Kind {
+		case harness.KindTimeout:
+			status = http.StatusGatewayTimeout
+		case harness.KindCanceled:
+			status = http.StatusServiceUnavailable
+		default: // error, panic
+			if errors.Is(err, ErrBadRequest) {
+				status = http.StatusBadRequest
+			}
+		}
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// decode reads a bounded JSON request body strictly.
+func decode(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("%w: invalid JSON body: %w", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, `{"error":"encode: %s"}`, err)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// --- handlers --------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	reg := experiments.Registry()
+	list := make([]entry, 0, len(reg))
+	for _, e := range reg {
+		list = append(list, entry{e.ID, e.Title})
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decode(w, r, &req); err != nil {
+		s.metrics.requests.Add(1)
+		s.fail(w, err)
+		return
+	}
+	req = req.normalize()
+	if err := req.validate(); err != nil {
+		s.metrics.requests.Add(1)
+		s.fail(w, err)
+		return
+	}
+	key := cacheKey("sweep", req)
+	s.serveResult(w, r, key, func() ([]byte, error) {
+		e, err := experiments.ByID(req.Experiment)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrBadRequest, err)
+		}
+		out, err := s.runSweep(req)
+		if err != nil {
+			return nil, fmt.Errorf("service: sweep %s: %w", req.Experiment, err)
+		}
+		body, err := json.MarshalIndent(SweepResponse{
+			Experiment:      req.Experiment,
+			Title:           e.Title,
+			Scale:           req.Scale,
+			Level:           req.Level,
+			MaxInstructions: req.MaxInstructions,
+			CodeVersion:     CodeVersion,
+			Output:          out,
+		}, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("service: marshal sweep response: %w", err)
+		}
+		return append(body, '\n'), nil
+	})
+}
+
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if err := decode(w, r, &req); err != nil {
+		s.metrics.requests.Add(1)
+		s.fail(w, err)
+		return
+	}
+	req = req.normalize()
+	if err := req.validate(); err != nil {
+		s.metrics.requests.Add(1)
+		s.fail(w, err)
+		return
+	}
+	key := cacheKey("sim", req)
+	s.serveResult(w, r, key, func() ([]byte, error) {
+		rep, err := s.runSim(req)
+		if err != nil {
+			return nil, fmt.Errorf("service: sim: %w", err)
+		}
+		body, err := json.MarshalIndent(SimResponse{
+			Request:     req,
+			CodeVersion: CodeVersion,
+			Report:      rep,
+		}, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("service: marshal sim response: %w", err)
+		}
+		return append(body, '\n'), nil
+	})
+}
