@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint verify fuzz sweep serve load
+.PHONY: all build test bench lint verify fuzz chaos sweep serve load
 
 all: build
 
@@ -35,6 +35,16 @@ verify: lint
 
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReader -fuzztime=5m ./internal/trace
+
+# chaos: the fault-injection and durability suite under the race
+# detector — torn-write/corruption recovery in the store, the
+# fault-injected filesystem scenarios, breaker/retry behavior, and the
+# kill-the-daemon-mid-write end-to-end test. Plus a fuzz smoke over the
+# store's record decoder and segment recovery.
+chaos:
+	$(GO) test -race -run '(Chaos|Crash|Fault|Torn|Corrupt|Recover|Breaker|Retry|Drain)' \
+		./internal/store ./internal/faultinject ./internal/client ./internal/service ./cmd/cachesimd
+	$(GO) test -run=^$$ -fuzz=FuzzStoreRead -fuzztime=10s ./internal/store
 
 # sweep: regenerate every table and figure, fault-tolerantly.
 sweep:

@@ -3,14 +3,18 @@
 // figure/table sweeps (/v1/sweep), and the operational endpoints a
 // production deployment needs (/healthz, /readyz, /metrics).
 //
-// Identical requests are content-addressed: results are cached (LRU)
-// and concurrent duplicates coalesce onto one simulation, which the
-// simulator's byte-for-byte determinism makes sound. See the "Serving"
-// section of README.md.
+// Identical requests are content-addressed: results are cached (LRU in
+// memory, optionally a crash-safe disk store behind it with
+// -store-dir) and concurrent duplicates coalesce onto one simulation,
+// which the simulator's byte-for-byte determinism makes sound. The
+// disk tier survives restarts and even SIGKILL: startup recovery drops
+// torn or corrupt records and serves everything else byte-identically.
+// See the "Serving" section of README.md and DESIGN.md §10.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, keeps /healthz
-// alive, fails /readyz, and drains in-flight simulations for up to
-// -drain-timeout before exiting.
+// alive, fails /readyz, drains in-flight simulations for up to
+// -drain-timeout, then flushes and closes the result store before
+// exiting.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -36,13 +42,16 @@ func main() {
 
 func run() error {
 	var (
-		addr         = flag.String("addr", "localhost:8344", "listen address")
-		workers      = flag.Int("workers", 2, "simulations allowed to run concurrently")
-		queueDepth   = flag.Int("queue", 32, "admissions that may wait for a worker before 429")
-		cacheEntries = flag.Int("cache-entries", 1024, "LRU result-cache bound")
-		reqTimeout   = flag.Duration("request-timeout", 10*time.Minute, "wall-clock limit per simulation")
-		par          = flag.Int("par", 0, "configurations each sweep simulates concurrently (-1 = all CPUs, 0 = serial)")
-		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight requests")
+		addr          = flag.String("addr", "localhost:8344", "listen address")
+		workers       = flag.Int("workers", 2, "simulations allowed to run concurrently")
+		queueDepth    = flag.Int("queue", 32, "admissions that may wait for a worker before 429")
+		cacheEntries  = flag.Int("cache-entries", 1024, "LRU result-cache bound")
+		reqTimeout    = flag.Duration("request-timeout", 10*time.Minute, "wall-clock limit per simulation")
+		par           = flag.Int("par", 0, "configurations each sweep simulates concurrently (-1 = all CPUs, 0 = serial)")
+		drainTimeout  = flag.Duration("drain-timeout", 2*time.Minute, "how long SIGTERM waits for in-flight requests")
+		storeDir      = flag.String("store-dir", "", "directory for the crash-safe disk result store (empty = memory-only)")
+		storeMaxBytes = flag.Int64("store-max-bytes", 256<<20, "disk store size bound; oldest segments evicted beyond it")
+		fsync         = flag.String("fsync", "batch", "disk store fsync policy: always (power-loss safe), batch, or never")
 	)
 	flag.Parse()
 
@@ -60,28 +69,59 @@ func run() error {
 		return fmt.Errorf("-request-timeout must be > 0 (got %v)", *reqTimeout)
 	case *drainTimeout <= 0:
 		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", *drainTimeout)
+	case *storeMaxBytes < 1<<10:
+		return fmt.Errorf("-store-max-bytes must be >= 1024 (got %d)", *storeMaxBytes)
+	}
+	syncPolicy, err := store.ParseSyncPolicy(*fsync)
+	if err != nil {
+		return err
 	}
 
-	srv, err := service.New(service.Options{
+	opts := service.Options{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		RequestTimeout: *reqTimeout,
 		Parallelism:    *par,
-	})
+	}
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{
+			Dir:      *storeDir,
+			MaxBytes: *storeMaxBytes,
+			Sync:     syncPolicy,
+		})
+		if err != nil {
+			// Degraded-but-serving: a broken disk should cost
+			// durability, not availability. /readyz reports it.
+			fmt.Fprintf(os.Stderr, "cachesimd: store %s unavailable, serving memory-only: %v\n", *storeDir, err)
+			opts.StoreOpenError = err.Error()
+		} else {
+			opts.Store = st
+			rec := st.Stats().Recovery
+			fmt.Printf("cachesimd: store %s recovered: %d entries in %d segments (torn_tails=%d corrupt=%d)\n",
+				*storeDir, rec.Entries, rec.Segments, rec.TornTails, rec.CorruptRecords)
+		}
+	}
+
+	srv, err := service.New(opts)
 	if err != nil {
 		return err
 	}
 
+	// Listen before announcing, so "-addr localhost:0" prints the real
+	// port (the end-to-end tests depend on this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
 		}
@@ -91,7 +131,7 @@ func run() error {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
 	fmt.Printf("cachesimd: serving on http://%s (workers=%d queue=%d cache=%d)\n",
-		*addr, *workers, *queueDepth, *cacheEntries)
+		ln.Addr(), *workers, *queueDepth, *cacheEntries)
 
 	select {
 	case err := <-errCh:
@@ -101,14 +141,19 @@ func run() error {
 	}
 
 	// Drain: readiness off, stop taking connections, let in-flight
-	// requests finish, then abandon stragglers.
+	// requests finish, abandon stragglers, then flush and close the
+	// result store so every acknowledged result is durable.
 	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(ctx)
 	srv.Abort()
+	closeErr := srv.Close()
 	if shutdownErr != nil {
 		return fmt.Errorf("drain incomplete: %w", shutdownErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("closing result store: %w", closeErr)
 	}
 	fmt.Println("cachesimd: drained, exiting")
 	return nil

@@ -7,22 +7,28 @@
 // regime a content-addressed result cache serves well; the hit/miss
 // median ratio it prints is the demonstration.
 //
+// Requests go through internal/client, so overload shedding degrades
+// gracefully end-to-end: 429/503 responses are retried with
+// exponential backoff and jitter (honoring the server's Retry-After),
+// each attempt carries a deadline, and a circuit breaker fails fast —
+// and is reported — when the daemon stops answering altogether.
+//
 //	go run ./cmd/simload -addr localhost:8344 -c 8 -duration 30s
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/service"
 )
@@ -36,19 +42,24 @@ func main() {
 
 // sample is one completed request.
 type sample struct {
-	latency time.Duration
-	source  string // hit | miss | coalesced | error:<status>
+	latency  time.Duration
+	source   string // hit | miss | coalesced | error:<class>
+	attempts int
 }
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "localhost:8344", "cachesimd address")
-		conc     = flag.Int("c", 4, "concurrent clients")
-		duration = flag.Duration("duration", 15*time.Second, "how long to generate load")
-		skew     = flag.Float64("skew", 1.2, "zipf skew s (> 1; larger = hotter head)")
-		seed     = flag.Int64("seed", 1, "random seed for the request mix")
-		maxInstr = flag.Uint64("max", 200_000, "max_instructions per sweep request (0 = full suite; keep small for load tests)")
-		scales   = flag.Int("scales", 2, "number of workload scales in the mix (1..N)")
+		addr       = flag.String("addr", "localhost:8344", "cachesimd address")
+		conc       = flag.Int("c", 4, "concurrent clients")
+		duration   = flag.Duration("duration", 15*time.Second, "how long to generate load")
+		skew       = flag.Float64("skew", 1.2, "zipf skew s (> 1; larger = hotter head)")
+		seed       = flag.Int64("seed", 1, "random seed for the request mix and retry jitter")
+		maxInstr   = flag.Uint64("max", 200_000, "max_instructions per sweep request (0 = full suite; keep small for load tests)")
+		scales     = flag.Int("scales", 2, "number of workload scales in the mix (1..N)")
+		retries    = flag.Int("retries", 4, "attempts per request (1 = no retry)")
+		reqTimeout = flag.Duration("req-timeout", 2*time.Minute, "per-attempt deadline")
+		brkFails   = flag.Int("breaker-threshold", 8, "consecutive failures that open the circuit breaker (-1 disables)")
+		brkCool    = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker fails fast before probing")
 	)
 	flag.Parse()
 	switch {
@@ -60,6 +71,8 @@ func run() error {
 		return fmt.Errorf("-skew must be > 1 (got %g)", *skew)
 	case *scales < 1 || *scales > service.MaxScale:
 		return fmt.Errorf("-scales must be in [1,%d] (got %d)", service.MaxScale, *scales)
+	case *retries < 1:
+		return fmt.Errorf("-retries must be >= 1 (got %d)", *retries)
 	}
 
 	// The request universe: every registered experiment at each scale,
@@ -81,7 +94,18 @@ func run() error {
 	}
 
 	url := "http://" + *addr + "/v1/sweep"
-	client := &http.Client{}
+	// One shared client: the breaker sees the daemon's aggregate
+	// health, exactly as a real multi-request caller would.
+	cl, err := client.New(client.Options{
+		MaxAttempts:      *retries,
+		AttemptTimeout:   *reqTimeout,
+		BreakerThreshold: *brkFails,
+		BreakerCooldown:  *brkCool,
+		Seed:             uint64(*seed),
+	})
+	if err != nil {
+		return err
+	}
 	deadline := time.Now().Add(*duration)
 
 	var (
@@ -99,19 +123,20 @@ func run() error {
 			for time.Now().Before(deadline) {
 				body := universe[zipf.Uint64()]
 				start := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				res, err := cl.PostJSON(context.Background(), url, body)
 				lat := time.Since(start)
-				if err != nil {
-					local = append(local, sample{lat, "error:transport"})
-					continue
+				switch {
+				case errors.Is(err, client.ErrBreakerOpen):
+					local = append(local, sample{lat, "error:breaker-open", 0})
+				case err != nil:
+					local = append(local, sample{lat, "error:exhausted", *retries})
+				default:
+					src := res.Header.Get("X-Cache")
+					if tier := res.Header.Get("X-Cache-Tier"); tier == "disk" {
+						src = "hit-disk"
+					}
+					local = append(local, sample{lat, src, res.Attempts})
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				src := resp.Header.Get("X-Cache")
-				if resp.StatusCode != http.StatusOK {
-					src = fmt.Sprintf("error:%d", resp.StatusCode)
-				}
-				local = append(local, sample{lat, src})
 			}
 			mu.Lock()
 			samples = append(samples, local...)
@@ -123,17 +148,21 @@ func run() error {
 	if len(samples) == 0 {
 		return fmt.Errorf("no requests completed; is cachesimd running on %s?", *addr)
 	}
-	report(samples, *duration)
+	report(samples, *duration, cl.Stats())
 	return nil
 }
 
-// report prints the latency study.
-func report(samples []sample, d time.Duration) {
+// report prints the latency study and what resilience cost.
+func report(samples []sample, d time.Duration, cs client.Stats) {
 	byClass := map[string][]time.Duration{}
 	var all []time.Duration
+	retried := 0
 	for _, s := range samples {
 		byClass[s.source] = append(byClass[s.source], s.latency)
 		all = append(all, s.latency)
+		if s.attempts > 1 {
+			retried++
+		}
 	}
 	fmt.Printf("requests: %d in %v (%.1f req/s)\n", len(all), d, float64(len(all))/d.Seconds())
 	fmt.Printf("overall:  %s\n", describe(all))
@@ -146,6 +175,8 @@ func report(samples []sample, d time.Duration) {
 	for _, c := range classes {
 		fmt.Printf("%-9s %s\n", c+":", describe(byClass[c]))
 	}
+	fmt.Printf("resilience: attempts=%d retries=%d retry_after_obeyed=%d breaker_opens=%d breaker_rejects=%d requests_retried=%d\n",
+		cs.Attempts, cs.Retries, cs.RetryAfterObey, cs.BreakerOpens, cs.BreakerRejects, retried)
 
 	hits, misses := byClass["hit"], byClass["miss"]
 	if len(hits) > 0 && len(misses) > 0 {

@@ -1,0 +1,238 @@
+package faultinject_test
+
+// Chaos tests: the real store running over a fault-injected filesystem.
+// These live outside package faultinject (and outside package store,
+// which faultinject imports) to get both packages at arm's length, the
+// way the daemon composes them.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/store"
+)
+
+func openFaulty(t *testing.T, dir string, set *faultinject.Set, sync store.SyncPolicy) *store.Store {
+	t.Helper()
+	s, err := store.Open(store.Options{
+		Dir:  dir,
+		Sync: sync,
+		FS:   faultinject.WrapFS(store.OS, set),
+	})
+	if err != nil {
+		t.Fatalf("Open under faults: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func reopenClean(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(store.Options{Dir: dir, Sync: store.SyncNever})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestChaosWriteErrorIsContained: an injected write error fails that
+// Put, the store repairs its tail, and later writes and reads work.
+func TestChaosWriteErrorIsContained(t *testing.T) {
+	set := faultinject.New(7, faultinject.Rule{
+		Site: faultinject.SiteWrite, After: 2, Times: 1, Kind: faultinject.KindError,
+	})
+	dir := t.TempDir()
+	s := openFaulty(t, dir, set, store.SyncNever)
+	var failed int
+	for i := 0; i < 6; i++ {
+		if err := s.Put(fmt.Sprintf("v1/key-%d", i), bytes.Repeat([]byte{byte(i)}, 40)); err != nil {
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("Put %d failed with a non-injected error: %v", i, err)
+			}
+			failed++
+		}
+	}
+	if failed != 1 {
+		t.Fatalf("%d puts failed, want exactly 1", failed)
+	}
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Fatalf("put errors %d, want 1: %+v", st.PutErrors, st)
+	}
+	// Every successful put is readable now and after a clean reopen.
+	if s.Len() != 5 {
+		t.Fatalf("store holds %d entries, want 5", s.Len())
+	}
+	s.Close()
+	s2 := reopenClean(t, dir)
+	if got := s2.Len(); got != 5 {
+		t.Fatalf("reopen holds %d entries, want 5 (recovery %+v)", got, s2.Stats().Recovery)
+	}
+	for _, key := range s2.Keys() {
+		if _, ok := s2.Get(key); !ok {
+			t.Fatalf("surviving key %q unreadable", key)
+		}
+	}
+}
+
+// TestChaosCrashMidWrite is the tentpole scenario in miniature: the
+// "process" dies partway through appending a record, leaving real torn
+// bytes on disk. Reopening over the clean filesystem must drop exactly
+// the torn record and keep everything before it.
+func TestChaosCrashMidWrite(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9} {
+		t.Run(fmt.Sprintf("frac=%v", frac), func(t *testing.T) {
+			set := faultinject.New(7, faultinject.Rule{
+				Site: faultinject.SiteWrite, After: 4, Times: 1,
+				Kind: faultinject.KindCrash, Frac: frac,
+			})
+			dir := t.TempDir()
+			s := openFaulty(t, dir, set, store.SyncNever)
+			var kept []string
+			for i := 0; i < 10; i++ {
+				key := fmt.Sprintf("v1/key-%d", i)
+				err := s.Put(key, bytes.Repeat([]byte{byte('a' + i)}, 60))
+				if set.Crashed() {
+					break
+				}
+				if err != nil {
+					t.Fatalf("pre-crash Put %d: %v", i, err)
+				}
+				kept = append(kept, key)
+			}
+			if !set.Crashed() {
+				t.Fatal("crash fault never fired")
+			}
+			// The dead store refuses further work with the crash error.
+			if err := s.Put("v1/late", []byte("x")); !errors.Is(err, faultinject.ErrCrashed) && !errors.Is(err, store.ErrClosed) {
+				t.Fatalf("Put on crashed store: %v", err)
+			}
+
+			s2 := reopenClean(t, dir)
+			rec := s2.Stats().Recovery
+			if frac > 0 && frac < 1 && rec.TornTails != 1 {
+				t.Fatalf("recovery %+v: a %.0f%% partial write must leave a torn tail", rec, frac*100)
+			}
+			for _, key := range kept {
+				got, ok := s2.Get(key)
+				if !ok {
+					t.Fatalf("acknowledged key %q lost in crash (recovery %+v)", key, rec)
+				}
+				want := bytes.Repeat([]byte{byte('a' + key[len(key)-1] - '0')}, 60)
+				if !bytes.Equal(got, want) {
+					t.Fatalf("key %q bytes damaged by crash", key)
+				}
+			}
+			// And the torn key is a miss, not garbage.
+			torn := fmt.Sprintf("v1/key-%d", len(kept))
+			if _, ok := s2.Get(torn); ok {
+				t.Fatalf("torn record %q served after recovery", torn)
+			}
+		})
+	}
+}
+
+// TestChaosCrashMidCompaction: dying during a SweepExcept compaction
+// must leave either the old segment or the new one — never a mix, and
+// never an indexed-but-unreadable key.
+func TestChaosCrashMidCompaction(t *testing.T) {
+	for _, site := range []string{faultinject.SiteRename, faultinject.SiteWrite} {
+		t.Run(site, func(t *testing.T) {
+			dir := t.TempDir()
+			// Populate cleanly first.
+			seedStore := reopenClean(t, dir)
+			for i := 0; i < 6; i++ {
+				if err := seedStore.Put(fmt.Sprintf("sim/0/key-%d", i), bytes.Repeat([]byte("o"), 50)); err != nil {
+					t.Fatal(err)
+				}
+				if err := seedStore.Put(fmt.Sprintf("sim/1/key-%d", i), bytes.Repeat([]byte("c"), 50)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			seedStore.Close()
+
+			// Crash on the tmp-file write or the commit rename.
+			after := 0
+			if site == faultinject.SiteWrite {
+				after = 2
+			}
+			set := faultinject.New(3, faultinject.Rule{
+				Site: site, Path: ".tmp", After: after, Times: 1,
+				Kind: faultinject.KindCrash, Frac: 0.5,
+			})
+			s := openFaulty(t, dir, set, store.SyncNever)
+			_, err := s.SweepExcept("sim/1/")
+			if !set.Crashed() {
+				t.Skipf("compaction finished before the %s fault matched (err=%v)", site, err)
+			}
+
+			s2 := reopenClean(t, dir)
+			for i := 0; i < 6; i++ {
+				got, ok := s2.Get(fmt.Sprintf("sim/1/key-%d", i))
+				if !ok || !bytes.Equal(got, bytes.Repeat([]byte("c"), 50)) {
+					t.Fatalf("live key %d lost or damaged by mid-compaction crash (recovery %+v)",
+						i, s2.Stats().Recovery)
+				}
+			}
+			// Stale keys may or may not survive the crash; what matters is
+			// a second sweep finishes the job.
+			if _, err := s2.SweepExcept("sim/1/"); err != nil {
+				t.Fatalf("post-crash sweep: %v", err)
+			}
+			for i := 0; i < 6; i++ {
+				if _, ok := s2.Get(fmt.Sprintf("sim/0/key-%d", i)); ok {
+					t.Fatalf("stale key %d survived the retried sweep", i)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosFsyncFailureIsCountedNotFatal: a failing fsync under the
+// batch policy must not fail the Put (the bytes are written; durability
+// is reduced, not correctness) but must be counted.
+func TestChaosFsyncFailureIsCountedNotFatal(t *testing.T) {
+	set := faultinject.New(7, faultinject.Rule{
+		Site: faultinject.SiteSync, Times: 2, Kind: faultinject.KindError,
+	})
+	dir := t.TempDir()
+	s, err := store.Open(store.Options{
+		Dir: dir, Sync: store.SyncAlways,
+		FS: faultinject.WrapFS(store.OS, set),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("v1/key-%d", i), []byte("value")); err != nil {
+			t.Fatalf("Put %d must survive a failed fsync: %v", i, err)
+		}
+	}
+	if st := s.Stats(); st.SyncErrors != 2 {
+		t.Fatalf("sync errors %d, want 2", st.SyncErrors)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Get(fmt.Sprintf("v1/key-%d", i)); !ok {
+			t.Fatalf("key %d unreadable after sync failures", i)
+		}
+	}
+}
+
+// TestChaosOpenDegraded: the daemon's degraded-mode contract — a store
+// whose directory cannot even be opened yields an error, not a hang or
+// a half-initialized store.
+func TestChaosOpenDegraded(t *testing.T) {
+	set := faultinject.New(7, faultinject.Rule{
+		Site: faultinject.SiteMkdir, Kind: faultinject.KindError,
+	})
+	_, err := store.Open(store.Options{
+		Dir: t.TempDir(), FS: faultinject.WrapFS(store.OS, set),
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Open = %v, want the injected error surfaced", err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// layer for exercising the serving stack's failure paths in tests
+// instead of hoping they work. It wraps the two surfaces the durability
+// guarantees depend on:
+//
+//   - the result store's filesystem (FS wrapping store.FS): write
+//     errors, partial writes, fsync failures, slow I/O, and simulated
+//     crashes that freeze the filesystem mid-operation exactly the way
+//     a killed process would leave it;
+//   - the service's simulation runner (Runner): injected compute
+//     failures and latency.
+//
+// Faults fire at named sites ("fs.write", "fs.sync", "runner", ...)
+// according to Rules: fire on the Nth matching operation, every Kth
+// after that, a bounded number of times, optionally gated by a
+// probability drawn from a seeded splitmix64 generator — so a failing
+// schedule is reproducible from its seed and the exact operation
+// sequence, which the repo's determinism guarantees make stable.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sentinel errors for injected failures, matched with errors.Is.
+var (
+	// ErrInjected is the base of every injected failure.
+	ErrInjected = errors.New("faultinject: injected fault")
+	// ErrCrashed is returned by every operation after a Crash fault
+	// fires: the wrapped subsystem behaves as if the process died.
+	ErrCrashed = fmt.Errorf("crashed: %w", ErrInjected)
+)
+
+// Kind is the failure mode a Rule injects.
+type Kind int
+
+const (
+	// KindError fails the operation with ErrInjected.
+	KindError Kind = iota
+	// KindPartialWrite writes only Frac of the buffer, then fails.
+	// On non-write sites it behaves like KindError.
+	KindPartialWrite
+	// KindSlow sleeps Delay, then lets the operation proceed.
+	KindSlow
+	// KindCrash writes Frac of the buffer (on a write site), then
+	// poisons the whole Set: every later operation returns ErrCrashed.
+	// Tests then reopen from the real files, exactly as a restart
+	// after SIGKILL would.
+	KindCrash
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPartialWrite:
+		return "partial-write"
+	case KindSlow:
+		return "slow"
+	case KindCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule arms one fault. The zero value of the trigger fields means
+// "fire on every matching operation".
+type Rule struct {
+	// Site the rule matches: exact, or a prefix ending in '*'
+	// ("fs.*" matches every filesystem site).
+	Site string
+	// Path, when non-empty, additionally requires the operation's
+	// operand (file path, runner id) to contain it as a substring.
+	Path string
+	// After skips the first After matching operations.
+	After int
+	// Every fires on every Every-th match past After (0 and 1 mean
+	// every match).
+	Every int
+	// Times bounds how often the rule fires (0 = unlimited).
+	Times int
+	// P gates each candidate firing on a seeded coin flip (0 = always
+	// fire; 0 < P < 1 = fire with probability P).
+	P float64
+	// Kind is the failure mode.
+	Kind Kind
+	// Frac is the fraction of a write to let through for
+	// KindPartialWrite / KindCrash (0 = nothing written).
+	Frac float64
+	// Delay is the KindSlow sleep.
+	Delay time.Duration
+}
+
+type ruleState struct {
+	Rule
+	seen  int // matching operations observed
+	fired int
+}
+
+// splitmix64 is a tiny deterministic PRNG (Steele et al.), avoiding
+// math/rand so the package stays inside the repo's determinism lint
+// scope: the same seed always yields the same fault schedule.
+type splitmix64 struct{ state uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *splitmix64) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// Set is one armed collection of rules sharing a seed and a crash
+// state. Safe for concurrent use.
+type Set struct {
+	mu      sync.Mutex
+	rng     splitmix64
+	rules   []*ruleState
+	crashed bool
+	ops     map[string]int // operations observed per site, for tests
+}
+
+// New arms rules under one seed.
+func New(seed uint64, rules ...Rule) *Set {
+	s := &Set{rng: splitmix64{state: seed}, ops: make(map[string]int)}
+	for _, r := range rules {
+		s.rules = append(s.rules, &ruleState{Rule: r})
+	}
+	return s
+}
+
+// Crashed reports whether a KindCrash rule has fired.
+func (s *Set) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Ops reports how many operations have been observed at site.
+func (s *Set) Ops(site string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops[site]
+}
+
+func matches(r *ruleState, site, path string) bool {
+	if p, ok := strings.CutSuffix(r.Site, "*"); ok {
+		if !strings.HasPrefix(site, p) {
+			return false
+		}
+	} else if r.Site != site {
+		return false
+	}
+	return r.Path == "" || strings.Contains(path, r.Path)
+}
+
+// decide finds the rule (if any) firing for this operation. delay is
+// accumulated separately so a slow rule can coexist with an error rule.
+func (s *Set) decide(site, path string) (fire *ruleState, delay time.Duration, crashed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ops[site]++
+	if s.crashed {
+		return nil, 0, true
+	}
+	for _, r := range s.rules {
+		if !matches(r, site, path) {
+			continue
+		}
+		r.seen++
+		if r.seen <= r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		if every := r.Every; every > 1 && (r.seen-r.After-1)%every != 0 {
+			continue
+		}
+		if r.P > 0 && s.rng.float() >= r.P {
+			continue
+		}
+		r.fired++
+		if r.Kind == KindSlow {
+			if r.Delay > delay {
+				delay = r.Delay
+			}
+			continue
+		}
+		if r.Kind == KindCrash {
+			s.crashed = true
+		}
+		return r, delay, false
+	}
+	return nil, delay, false
+}
+
+// Fire evaluates the rules for one operation at site, returning the
+// injected error (nil = proceed). KindSlow sleeps before returning.
+func (s *Set) Fire(site, path string) error {
+	r, delay, crashed := s.decide(site, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch {
+	case crashed:
+		return fmt.Errorf("%s %s: %w", site, path, ErrCrashed)
+	case r == nil:
+		return nil
+	default:
+		return fmt.Errorf("%s %s: injected %s: %w", site, path, r.Kind, ErrInjected)
+	}
+}
+
+// FireWrite evaluates the rules for a write of n bytes, returning how
+// many bytes to let through and the error to return afterwards
+// (allow == n and err == nil means the write proceeds untouched).
+func (s *Set) FireWrite(site, path string, n int) (allow int, err error) {
+	r, delay, crashed := s.decide(site, path)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	switch {
+	case crashed:
+		return 0, fmt.Errorf("%s %s: %w", site, path, ErrCrashed)
+	case r == nil:
+		return n, nil
+	case r.Kind == KindPartialWrite || r.Kind == KindCrash:
+		return int(float64(n) * r.Frac), fmt.Errorf("%s %s: injected %s after partial write: %w",
+			site, path, r.Kind, ErrInjected)
+	default:
+		return 0, fmt.Errorf("%s %s: injected %s: %w", site, path, r.Kind, ErrInjected)
+	}
+}
+
+// Runner wraps a compute function with faults at the given site: an
+// injected error replaces the call entirely; slow faults delay it.
+func Runner[T any](s *Set, site string, inner func() (T, error)) func() (T, error) {
+	return func() (T, error) {
+		if err := s.Fire(site, ""); err != nil {
+			var zero T
+			return zero, err
+		}
+		return inner()
+	}
+}

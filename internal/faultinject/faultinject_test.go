@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestRuleTriggerSchedule(t *testing.T) {
+	// After skips, Every strides, Times bounds.
+	s := New(1, Rule{Site: "op", After: 2, Every: 2, Times: 3, Kind: KindError})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := s.Fire("op", ""); err != nil {
+			fired = append(fired, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("op %d: %v is not ErrInjected", i, err)
+			}
+		}
+	}
+	want := []int{3, 5, 7} // first after the 2 skipped, then every 2nd, 3 times
+	if fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	if got := s.Ops("op"); got != 12 {
+		t.Fatalf("ops = %d, want 12", got)
+	}
+}
+
+func TestSiteAndPathMatching(t *testing.T) {
+	s := New(1,
+		Rule{Site: "fs.*", Path: "0002.seg", Kind: KindError},
+	)
+	if err := s.Fire("fs.write", "/d/00000001.seg"); err != nil {
+		t.Fatalf("wrong path matched: %v", err)
+	}
+	if err := s.Fire("runner.sweep", "/d/00000002.seg"); err != nil {
+		t.Fatalf("wrong site matched: %v", err)
+	}
+	if err := s.Fire("fs.sync", "/d/00000002.seg"); err == nil {
+		t.Fatal("prefix site + path substring did not match")
+	}
+}
+
+// TestProbabilisticFiringIsSeedDeterministic is the package's core
+// promise: the same seed and operation sequence yield the same fault
+// schedule, so a failure found under chaos replays exactly.
+func TestProbabilisticFiringIsSeedDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []int {
+		s := New(seed, Rule{Site: "op", P: 0.3, Kind: KindError})
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if s.Fire("op", "") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := schedule(42), schedule(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("P=0.3 fired %d/200 times; the coin flip is not wired up", len(a))
+	}
+	if c := schedule(43); fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+}
+
+func TestFireWritePartial(t *testing.T) {
+	s := New(1, Rule{Site: "fs.write", Kind: KindPartialWrite, Frac: 0.5})
+	allow, err := s.FireWrite("fs.write", "f", 100)
+	if allow != 50 {
+		t.Fatalf("allow = %d, want 50", allow)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+}
+
+func TestCrashPoisonsEverything(t *testing.T) {
+	s := New(1, Rule{Site: "fs.sync", Times: 1, Kind: KindCrash})
+	if err := s.Fire("fs.write", "f"); err != nil {
+		t.Fatalf("pre-crash write failed: %v", err)
+	}
+	if err := s.Fire("fs.sync", "f"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash rule did not fire: %v", err)
+	}
+	if !s.Crashed() {
+		t.Fatal("Crashed() false after a crash fault")
+	}
+	// Every subsequent operation, any site, is dead.
+	for _, site := range []string{"fs.write", "fs.open", "runner", "fs.sync"} {
+		if err := s.Fire(site, "x"); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("%s after crash: %v, want ErrCrashed", site, err)
+		}
+	}
+	if allow, err := s.FireWrite("fs.write", "x", 64); allow != 0 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("FireWrite after crash: allow=%d err=%v", allow, err)
+	}
+}
+
+func TestSlowDelays(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	s := New(1, Rule{Site: "op", Times: 1, Kind: KindSlow, Delay: delay})
+	start := time.Now()
+	if err := s.Fire("op", ""); err != nil {
+		t.Fatalf("slow fault must not fail the op: %v", err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("op took %v, want >= %v", took, delay)
+	}
+	// Second op is past Times and must be fast-ish; just check no error.
+	if err := s.Fire("op", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerWrapsCompute(t *testing.T) {
+	s := New(1, Rule{Site: "runner", After: 1, Times: 1, Kind: KindError})
+	calls := 0
+	run := Runner(s, "runner", func() (string, error) {
+		calls++
+		return "result", nil
+	})
+	if got, err := run(); err != nil || got != "result" {
+		t.Fatalf("first call: %q, %v", got, err)
+	}
+	if _, err := run(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second call: %v, want ErrInjected", err)
+	}
+	if calls != 1 {
+		t.Fatalf("inner ran %d times; an injected error must replace the call", calls)
+	}
+	if got, err := run(); err != nil || got != "result" {
+		t.Fatalf("third call: %q, %v", got, err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindError:        "error",
+		KindPartialWrite: "partial-write",
+		KindSlow:         "slow",
+		KindCrash:        "crash",
+		Kind(99):         "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

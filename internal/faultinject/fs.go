@@ -1,0 +1,139 @@
+package faultinject
+
+import (
+	iofs "io/fs"
+
+	"repro/internal/store"
+)
+
+// Fault sites named by the FS wrapper. A rule's Site matches one of
+// these exactly, or by prefix with "fs.*".
+const (
+	SiteOpen     = "fs.open"
+	SiteWrite    = "fs.write"
+	SiteSync     = "fs.sync"
+	SiteClose    = "fs.close"
+	SiteTruncate = "fs.truncate"
+	SiteReadAt   = "fs.readat"
+	SiteRename   = "fs.rename"
+	SiteRemove   = "fs.remove"
+	SiteReadDir  = "fs.readdir"
+	SiteMkdir    = "fs.mkdir"
+	SiteSize     = "fs.size"
+)
+
+// WrapFS interposes the fault set on every operation of inner. Partial
+// writes really write the allowed prefix to the underlying file, so a
+// simulated crash leaves the same torn bytes on disk that a real one
+// would.
+func WrapFS(inner store.FS, set *Set) store.FS {
+	return &faultFS{inner: inner, set: set}
+}
+
+type faultFS struct {
+	inner store.FS
+	set   *Set
+}
+
+func (f *faultFS) OpenFile(name string, flag int, perm iofs.FileMode) (store.File, error) {
+	if err := f.set.Fire(SiteOpen, name); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, set: f.set, name: name}, nil
+}
+
+func (f *faultFS) Rename(oldname, newname string) error {
+	if err := f.set.Fire(SiteRename, oldname); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *faultFS) Remove(name string) error {
+	if err := f.set.Fire(SiteRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *faultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.set.Fire(SiteReadDir, dir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *faultFS) MkdirAll(dir string, perm iofs.FileMode) error {
+	if err := f.set.Fire(SiteMkdir, dir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *faultFS) Size(name string) (int64, error) {
+	if err := f.set.Fire(SiteSize, name); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(name)
+}
+
+type faultFile struct {
+	inner store.File
+	set   *Set
+	name  string
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, ferr := f.set.FireWrite(SiteWrite, f.name, len(p))
+	if allow > len(p) {
+		allow = len(p)
+	}
+	written := 0
+	if allow > 0 {
+		n, err := f.inner.Write(p[:allow])
+		written = n
+		if err != nil {
+			return n, err
+		}
+	}
+	if ferr != nil {
+		return written, ferr
+	}
+	if allow < len(p) {
+		n, err := f.inner.Write(p[allow:])
+		return written + n, err
+	}
+	return written, nil
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.set.Fire(SiteReadAt, f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.set.Fire(SiteSync, f.name); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.set.Fire(SiteTruncate, f.name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if err := f.set.Fire(SiteClose, f.name); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}

@@ -33,6 +33,15 @@ var determinismScope = pathIn(
 	// is intentionally wall-clock-based and mutable, and is allowlisted
 	// at the few sites that touch the clock (see service/metrics.go).
 	"repro/internal/service",
+	// The durability layer replays stored result bytes as fresh ones,
+	// so the same byte-identity argument applies. The fault injector
+	// must be deterministic by design (a failing schedule has to replay
+	// from its seed), and the client's backoff jitter uses the same
+	// seeded generator; their few legitimate wall-clock reads are
+	// individually allowlisted.
+	"repro/internal/store",
+	"repro/internal/faultinject",
+	"repro/internal/client",
 )
 
 // Determinism forbids the nondeterminism sources in simulator and

@@ -18,6 +18,13 @@ var noPanicScope = pathIn(
 	"repro/internal/sched",
 	"repro/internal/trace",
 	"repro/internal/mips",
+	// The durability layer has the same contract as the model: a panic
+	// in the store, the fault injector, or the client would take down a
+	// serving daemon (or a chaos test) instead of producing one
+	// structured, countable failure.
+	"repro/internal/store",
+	"repro/internal/faultinject",
+	"repro/internal/client",
 )
 
 // NoPanic forbids calls to the builtin panic in the model packages.

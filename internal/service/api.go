@@ -182,3 +182,12 @@ func cacheKey(kind string, normalized any) string {
 	sum := sha256.Sum256(payload)
 	return hex.EncodeToString(sum[:])
 }
+
+// storeKey namespaces a cache key for the disk tier. CodeVersion is
+// hashed into the key itself, but the disk store also needs it as a
+// literal prefix so invalidating every result computed by older code is
+// a prefix sweep (store.SweepExcept) instead of a format migration.
+func storeKey(key string) string { return storeKeyPrefix() + key }
+
+// storeKeyPrefix is the keep-prefix handed to store.SweepExcept.
+func storeKeyPrefix() string { return CodeVersion + "/" }

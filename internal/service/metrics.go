@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/store"
 )
 
 // now is the one sanctioned wall-clock read in this package. The
@@ -95,12 +97,13 @@ func (h *latencyHist) summary() LatencySummary {
 type metrics struct {
 	start time.Time
 
-	requests  atomic.Uint64 // simulation API requests (sweep + sim)
-	errors    atomic.Uint64 // 4xx/5xx responses on those endpoints
-	overloads atomic.Uint64 // 429 responses
-	coalesced atomic.Uint64 // requests served by another request's flight
-	inFlight  atomic.Int64  // simulation requests currently in a handler
-	queued    atomic.Int64  // admissions waiting for a worker slot
+	requests       atomic.Uint64 // simulation API requests (sweep + sim)
+	errors         atomic.Uint64 // 4xx/5xx responses on those endpoints
+	overloads      atomic.Uint64 // 429 responses
+	coalesced      atomic.Uint64 // requests served by another request's flight
+	inFlight       atomic.Int64  // simulation requests currently in a handler
+	queued         atomic.Int64  // admissions waiting for a worker slot
+	storePutErrors atomic.Uint64 // results computed but not persisted
 
 	all      latencyHist // every served simulation request
 	hitLat   latencyHist // cache-hit requests
@@ -109,6 +112,23 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{start: now()}
+}
+
+// StoreMetrics is the durability-tier section of /metrics and /readyz:
+// which mode the daemon is serving in, why it is degraded (if it is),
+// and the store's own counters — hits, recoveries, corruptions.
+type StoreMetrics struct {
+	// Mode is "disk" (two-tier), "memory-only" (no store configured),
+	// or "degraded" (a store was requested but failed to open).
+	Mode string `json:"mode"`
+	// Error is the open/sweep failure behind a degraded mode.
+	Error string `json:"error,omitempty"`
+	// Stats is present when a disk store is attached; its Recovery
+	// field reports what startup found (torn tails, corrupt records).
+	Stats *store.Stats `json:"stats,omitempty"`
+	// PutErrors counts results that were computed and served but could
+	// not be persisted.
+	PutErrors uint64 `json:"put_errors"`
 }
 
 // MetricsSnapshot is the /metrics response body.
@@ -122,14 +142,16 @@ type MetricsSnapshot struct {
 	Queued        int64          `json:"queued"`
 	Coalesced     uint64         `json:"coalesced"`
 	Cache         CacheStats     `json:"cache"`
+	Store         StoreMetrics   `json:"store"`
 	Latency       LatencySummary `json:"latency"`
 	LatencyHits   LatencySummary `json:"latency_hits"`
 	LatencyMisses LatencySummary `json:"latency_misses"`
 	CodeVersion   string         `json:"code_version"`
 }
 
-func (m *metrics) snapshot(cache CacheStats) MetricsSnapshot {
+func (m *metrics) snapshot(cache CacheStats, storeM StoreMetrics) MetricsSnapshot {
 	up := now().Sub(m.start).Seconds()
+	storeM.PutErrors = m.storePutErrors.Load()
 	s := MetricsSnapshot{
 		UptimeSeconds: up,
 		Requests:      m.requests.Load(),
@@ -139,6 +161,7 @@ func (m *metrics) snapshot(cache CacheStats) MetricsSnapshot {
 		Queued:        m.queued.Load(),
 		Coalesced:     m.coalesced.Load(),
 		Cache:         cache,
+		Store:         storeM,
 		Latency:       m.all.summary(),
 		LatencyHits:   m.hitLat.summary(),
 		LatencyMisses: m.computed.summary(),

@@ -14,6 +14,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -37,6 +38,15 @@ type Options struct {
 	// many configurations one experiment simulates concurrently
 	// (default 0 = serial; the worker pool is the outer concurrency).
 	Parallelism int
+	// Store is the optional crash-safe disk tier behind the in-memory
+	// cache (nil = memory-only). The server takes ownership: Close
+	// flushes and closes it, and New sweeps entries recorded under an
+	// older CodeVersion.
+	Store *store.Store
+	// StoreOpenError records why the disk tier is absent when one was
+	// requested but failed to open; /readyz then reports the daemon as
+	// degraded-but-serving (memory-only) instead of silently healthy.
+	StoreOpenError string
 }
 
 const (
@@ -91,12 +101,14 @@ func (o Options) Validate() error {
 // Server is the simulation-as-a-service daemon core: an http.Handler
 // plus the cache, coalescing group, and admission pool behind it.
 type Server struct {
-	opts    Options
-	cache   *Cache
-	group   *group
-	metrics *metrics
-	sem     chan struct{}
-	mux     *http.ServeMux
+	opts     Options
+	cache    *Cache
+	store    *store.Store // nil = memory-only
+	storeErr string       // why the disk tier is absent/degraded
+	group    *group
+	metrics  *metrics
+	sem      chan struct{}
+	mux      *http.ServeMux
 
 	baseCtx    context.Context // serving lifetime; cancelled by Abort
 	baseCancel context.CancelFunc
@@ -118,12 +130,24 @@ func New(o Options) (*Server, error) {
 	s := &Server{
 		opts:       o,
 		cache:      NewCache(o.CacheEntries),
+		store:      o.Store,
+		storeErr:   o.StoreOpenError,
 		group:      newGroup(),
 		metrics:    newMetrics(),
 		sem:        make(chan struct{}, o.Workers),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		draining:   make(chan struct{}),
+	}
+	if s.store != nil {
+		// Keys embed CodeVersion as a literal prefix: one sweep drops
+		// every result computed by older simulator code. A sweep
+		// failure is purely a space-reclaim miss — stale entries can
+		// never be served because lookups always use the current
+		// prefix — so it degrades the status line, not the server.
+		if _, err := s.store.SweepExcept(storeKeyPrefix()); err != nil {
+			s.storeErr = fmt.Sprintf("code-version sweep: %v", err)
+		}
 	}
 	s.runSweep = s.defaultRunSweep
 	s.runSim = s.defaultRunSim
@@ -159,9 +183,40 @@ func (s *Server) BeginDrain() {
 // canceled). The last resort of a forced shutdown.
 func (s *Server) Abort() { s.baseCancel() }
 
+// Close ends the drain: flush and close the disk tier so every
+// acknowledged result is durable before the process exits. Idempotent;
+// requests arriving afterwards are rejected with 503 like any other
+// post-drain traffic.
+func (s *Server) Close() error {
+	s.BeginDrain()
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Close()
+}
+
 // Metrics snapshots the operational counters.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.metrics.snapshot(s.cache.Stats())
+	return s.metrics.snapshot(s.cache.Stats(), s.storeMetrics())
+}
+
+// storeMetrics reports the durability tier: its mode (disk /
+// memory-only / degraded), open or sweep errors, and — when a store is
+// attached — its counters, including what startup recovery found
+// (torn tails truncated, corrupt records dropped).
+func (s *Server) storeMetrics() StoreMetrics {
+	m := StoreMetrics{Mode: "memory-only"}
+	switch {
+	case s.store != nil:
+		m.Mode = "disk"
+		m.Error = s.storeErr
+		st := s.store.Stats()
+		m.Stats = &st
+	case s.storeErr != "":
+		m.Mode = "degraded"
+		m.Error = s.storeErr
+	}
+	return m
 }
 
 func (s *Server) isDraining() bool {
@@ -266,8 +321,18 @@ func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key string,
 	defer s.metrics.inFlight.Add(-1)
 
 	if body, ok := s.cache.Get(key); ok {
-		s.respond(w, start, "hit", key, body)
+		s.respond(w, start, "hit", "memory", key, body)
 		return
+	}
+	if s.store != nil {
+		if body, ok := s.store.Get(storeKey(key)); ok {
+			// Promote the disk hit so repeats are memory-fast. The
+			// stored bytes passed their CRC; they are the exact bytes
+			// a fresh simulation would produce.
+			s.cache.Put(key, body)
+			s.respond(w, start, "hit", "disk", key, body)
+			return
+		}
 	}
 	if s.isDraining() {
 		s.fail(w, ErrDraining)
@@ -283,6 +348,13 @@ func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key string,
 			return nil, err
 		}
 		s.cache.Put(key, b)
+		if s.store != nil {
+			// A persist failure only costs durability of this one
+			// entry; the client still gets its freshly computed bytes.
+			if perr := s.store.Put(storeKey(key), b); perr != nil {
+				s.metrics.storePutErrors.Add(1)
+			}
+		}
 		return b, nil
 	})
 	if err != nil {
@@ -294,12 +366,12 @@ func (s *Server) serveResult(w http.ResponseWriter, r *http.Request, key string,
 		source = "coalesced"
 		s.metrics.coalesced.Add(1)
 	}
-	s.respond(w, start, source, key, body)
+	s.respond(w, start, source, "", key, body)
 }
 
 // respond writes a result body with its operational headers and records
-// latency.
-func (s *Server) respond(w http.ResponseWriter, start time.Time, source, key string, body []byte) {
+// latency. tier says which cache tier satisfied a hit ("" otherwise).
+func (s *Server) respond(w http.ResponseWriter, start time.Time, source, tier, key string, body []byte) {
 	elapsed := now().Sub(start)
 	s.metrics.all.observe(elapsed)
 	if source == "hit" {
@@ -310,6 +382,9 @@ func (s *Server) respond(w http.ResponseWriter, start time.Time, source, key str
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Cache", source)
+	if tier != "" {
+		h.Set("X-Cache-Tier", tier)
+	}
 	h.Set("X-Cache-Key", key)
 	h.Set("X-Elapsed-Us", strconv.FormatInt(elapsed.Microseconds(), 10))
 	w.Write(body)
@@ -341,6 +416,20 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
+	}
+	// Once the drain has begun, any internal failure is really "this
+	// replica is going away": tell clients to retry elsewhere (503)
+	// instead of reporting a server bug (500).
+	if status == http.StatusInternalServerError && s.isDraining() {
+		status = http.StatusServiceUnavailable
+	}
+	// Shed and draining responses carry pacing for resilient clients
+	// (internal/client honors Retry-After on exactly these statuses).
+	switch status {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "2")
 	}
 	writeJSON(w, status, struct {
 		Error string `json:"error"`
@@ -375,14 +464,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz reports serving readiness plus the durability tier's
+// state: "ready" with a disk store, "degraded" when a store was asked
+// for but failed to open (the daemon serves memory-only rather than
+// refusing traffic), 503 "draining" during shutdown.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if s.isDraining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-		return
+	body := struct {
+		Status string       `json:"status"`
+		Store  StoreMetrics `json:"store"`
+	}{Status: "ready", Store: s.storeMetrics()}
+	status := http.StatusOK
+	switch {
+	case s.isDraining():
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case body.Store.Mode == "degraded":
+		body.Status = "degraded"
 	}
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

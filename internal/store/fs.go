@@ -1,0 +1,98 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"sort"
+)
+
+// FS is the narrow filesystem surface the store writes through. It
+// exists so the fault-injection layer (internal/faultinject) can wrap
+// every operation the durability guarantees depend on — writes, fsyncs,
+// renames — and fail them deterministically in tests. Production code
+// uses OS (the passthrough to package os).
+type FS interface {
+	// OpenFile opens name with the os.O_* flags.
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname (POSIX rename).
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string, perm iofs.FileMode) error
+	// Size reports the byte size of the named file.
+	Size(name string) (int64, error)
+}
+
+// File is one open file handle: append writes, random reads, fsync,
+// truncation. Exactly the operations a crash can interrupt.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	// Sync flushes written data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+}
+
+// OS is the production FS: a passthrough to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", name, err)
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldname, newname string) error {
+	if err := os.Rename(oldname, newname); err != nil {
+		return fmt.Errorf("store: rename %s -> %s: %w", oldname, newname, err)
+	}
+	return nil
+}
+
+func (osFS) Remove(name string) error {
+	if err := os.Remove(name); err != nil {
+		return fmt.Errorf("store: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: readdir %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) MkdirAll(dir string, perm iofs.FileMode) error {
+	if err := os.MkdirAll(dir, perm); err != nil {
+		return fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	return nil
+}
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, fmt.Errorf("store: stat %s: %w", name, err)
+	}
+	return fi.Size(), nil
+}

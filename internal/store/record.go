@@ -1,0 +1,85 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk record framing, little-endian:
+//
+//	offset  0: magic   uint32 ("GaAS")
+//	offset  4: crc     uint32  IEEE CRC32 over bytes [8, end)
+//	offset  8: keyLen  uint16
+//	offset 10: valLen  uint32
+//	offset 14: key     keyLen bytes
+//	       ...: val     valLen bytes
+//
+// The CRC covers the length fields as well as the payload, so a torn
+// header cannot redirect the scanner into the middle of a value. A
+// record is only ever appended whole (one Write call); everything else
+// — torn tails from a crash mid-append, bit rot, truncation — fails the
+// magic, length, or CRC check and is dropped rather than served.
+const (
+	recordMagic = 0x53416147 // "GaAS" as a little-endian uint32
+	headerSize  = 14
+	maxKeyLen   = 1<<16 - 1
+	// maxValLen bounds one stored result body. Sweep outputs are tens
+	// of kilobytes; 64 MiB is far above any legitimate record and keeps
+	// a corrupt length field from driving a giant allocation during
+	// recovery.
+	maxValLen = 64 << 20
+)
+
+// errTornRecord marks a record cut short (crash mid-append); it is
+// distinguished from ErrCorrupt so recovery can count the two failure
+// modes separately.
+var errTornRecord = fmt.Errorf("store: torn record: %w", ErrCorrupt)
+
+// encodeRecord frames one key/value pair.
+func encodeRecord(key string, val []byte) ([]byte, error) {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return nil, fmt.Errorf("store: key length %d out of range [1,%d]", len(key), maxKeyLen)
+	}
+	if len(val) > maxValLen {
+		return nil, fmt.Errorf("store: value %d bytes exceeds limit %d", len(val), maxValLen)
+	}
+	rec := make([]byte, headerSize+len(key)+len(val))
+	binary.LittleEndian.PutUint32(rec[0:], recordMagic)
+	binary.LittleEndian.PutUint16(rec[8:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(rec[10:], uint32(len(val)))
+	copy(rec[headerSize:], key)
+	copy(rec[headerSize+len(key):], val)
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(rec[8:]))
+	return rec, nil
+}
+
+// decodeRecord parses the record at the start of data, returning the
+// key, the value (aliasing data), and the total encoded size. A short
+// buffer returns errTornRecord; a framing or checksum failure returns
+// an error wrapping ErrCorrupt.
+func decodeRecord(data []byte) (key string, val []byte, size int64, err error) {
+	if len(data) < headerSize {
+		return "", nil, 0, errTornRecord
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != recordMagic {
+		return "", nil, 0, fmt.Errorf("store: bad record magic %#x: %w",
+			binary.LittleEndian.Uint32(data[0:]), ErrCorrupt)
+	}
+	keyLen := int(binary.LittleEndian.Uint16(data[8:]))
+	valLen := int(binary.LittleEndian.Uint32(data[10:]))
+	if keyLen == 0 || valLen > maxValLen {
+		return "", nil, 0, fmt.Errorf("store: implausible record lengths key=%d val=%d: %w",
+			keyLen, valLen, ErrCorrupt)
+	}
+	total := headerSize + keyLen + valLen
+	if len(data) < total {
+		return "", nil, 0, errTornRecord
+	}
+	if crc := crc32.ChecksumIEEE(data[8:total]); crc != binary.LittleEndian.Uint32(data[4:]) {
+		return "", nil, 0, fmt.Errorf("store: CRC mismatch (stored %#x, computed %#x): %w",
+			binary.LittleEndian.Uint32(data[4:]), crc, ErrCorrupt)
+	}
+	return string(data[headerSize : headerSize+keyLen]),
+		data[headerSize+keyLen : total], int64(total), nil
+}

@@ -1,0 +1,765 @@
+// Package store is the crash-safe disk tier behind the serving layer's
+// in-memory result cache: an append-only segment-file store holding
+// content-addressed simulation results across daemon restarts.
+//
+// Durability model (see DESIGN.md §10):
+//
+//   - Results are appended to numbered segment files with per-entry
+//     CRC32 framing; a record is either wholly on disk and
+//     checksum-valid, or it does not exist. There is no in-place
+//     mutation anywhere.
+//   - Startup recovery scans every segment, rebuilds the in-memory
+//     index, truncates a torn tail (crash mid-append) off the final
+//     segment, and refuses to index — and therefore to ever serve —
+//     any record that fails its checksum.
+//   - Rewrites (compaction after a code-version sweep) go through a
+//     whole-file tmp+rename, so a crash mid-compaction leaves either
+//     the old segment or the new one, never a half-written hybrid.
+//   - Keys carry the simulator CodeVersion as a literal prefix
+//     (internal/service constructs them), so invalidating every result
+//     computed by older code is a prefix sweep, not a format change.
+//
+// The store is a cache, not a system of record: entries may be dropped
+// (segment eviction under the size bound, corruption, sweeps) and the
+// only cost is recomputation. What is never acceptable is serving bytes
+// that differ from what the simulator would produce — hence checksums
+// on every read and the refusal to serve anything that fails one.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = errors.New("store: closed")
+	// ErrCorrupt marks a record that failed framing or checksum
+	// validation; such records are counted and dropped, never served.
+	ErrCorrupt = errors.New("store: corrupt record")
+)
+
+// SyncPolicy says when appended records are fsynced to stable storage.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs after every append: a record acknowledged is a
+	// record that survives power loss. Slowest.
+	SyncAlways SyncPolicy = "always"
+	// SyncBatch fsyncs every Options.SyncEvery appends and on segment
+	// rotation and Close. Survives process crashes (the OS holds the
+	// pages); a power loss can lose the last batch.
+	SyncBatch SyncPolicy = "batch"
+	// SyncNever leaves flushing entirely to the OS. Survives process
+	// crashes only.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParseSyncPolicy converts a flag string into a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncBatch, SyncNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("store: unknown fsync policy %q (want always, batch, or never)", s)
+}
+
+// Options configures a store. Zero values take the documented defaults.
+type Options struct {
+	// Dir is the directory holding the segment files (required).
+	Dir string
+	// MaxBytes bounds the total on-disk size; the oldest sealed
+	// segments are evicted whole once it is exceeded (default 256 MiB).
+	MaxBytes int64
+	// SegmentBytes is the rotation threshold for the active segment
+	// (default 8 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncBatch).
+	Sync SyncPolicy
+	// SyncEvery is the append count between fsyncs under SyncBatch
+	// (default 64).
+	SyncEvery int
+	// FS overrides the filesystem, for fault injection (default OS).
+	FS FS
+}
+
+const (
+	defaultMaxBytes     = 256 << 20
+	defaultSegmentBytes = 8 << 20
+	defaultSyncEvery    = 64
+	segmentSuffix       = ".seg"
+	tmpSuffix           = ".tmp"
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes == 0 {
+		o.MaxBytes = defaultMaxBytes
+	}
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.Sync == "" {
+		o.Sync = SyncBatch
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = defaultSyncEvery
+	}
+	if o.FS == nil {
+		o.FS = OS
+	}
+	return o
+}
+
+// ErrNoDir rejects a store configured without a directory.
+var ErrNoDir = errors.New("store: dir is required")
+
+// Validate rejects unusable options before any file is touched.
+func (o Options) Validate() error {
+	if o.Dir == "" {
+		return ErrNoDir
+	}
+	o = o.withDefaults()
+	if o.MaxBytes < 0 || o.SegmentBytes < headerSize+1 {
+		return fmt.Errorf("store: bad size bounds (max=%d segment=%d)", o.MaxBytes, o.SegmentBytes)
+	}
+	if o.SyncEvery < 1 {
+		return fmt.Errorf("store: sync-every must be >= 1 (got %d)", o.SyncEvery)
+	}
+	if _, err := ParseSyncPolicy(string(o.Sync)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Recovery summarizes what startup found on disk.
+type Recovery struct {
+	// Segments scanned and Entries indexed.
+	Segments int `json:"segments"`
+	Entries  int `json:"entries"`
+	// TornTails is how many segments ended in a record cut short by a
+	// crash mid-append; TornBytes is how much was truncated away.
+	TornTails int   `json:"torn_tails"`
+	TornBytes int64 `json:"torn_bytes"`
+	// CorruptRecords counts checksum/framing failures found mid-scan;
+	// the remainder of such a segment is skipped (SkippedBytes).
+	CorruptRecords int   `json:"corrupt_records"`
+	SkippedBytes   int64 `json:"skipped_bytes"`
+	// SweptEntries counts stale-code-version entries dropped by
+	// SweepExcept since open.
+	SweptEntries int `json:"swept_entries"`
+}
+
+// Stats is a point-in-time snapshot of the store counters.
+type Stats struct {
+	Entries    int    `json:"entries"`
+	LiveBytes  int64  `json:"live_bytes"`
+	DiskBytes  int64  `json:"disk_bytes"`
+	Segments   int    `json:"segments"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Puts       uint64 `json:"puts"`
+	PutErrors  uint64 `json:"put_errors"`
+	SyncErrors uint64 `json:"sync_errors"`
+	// Corruptions counts records that failed validation at read time
+	// (post-recovery); they are dropped from the index, never served.
+	Corruptions     uint64   `json:"corruptions"`
+	EvictedSegments uint64   `json:"evicted_segments"`
+	EvictedEntries  uint64   `json:"evicted_entries"`
+	Compactions     uint64   `json:"compactions"`
+	Recovery        Recovery `json:"recovery"`
+}
+
+type entryLoc struct {
+	seg  uint64
+	off  int64
+	size int64
+}
+
+type segInfo struct {
+	size int64 // bytes on disk
+	live int64 // bytes of index-reachable records
+}
+
+// Store is a crash-safe key/value store of immutable results. All
+// methods are safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	opts Options
+	fs   FS
+
+	index  map[string]entryLoc
+	segs   map[uint64]*segInfo
+	segIDs []uint64 // ascending; last is the active segment
+
+	active     uint64
+	activeFile File
+	sinceSync  int
+	closed     bool
+
+	liveBytes                                 int64
+	recovery                                  Recovery
+	hits, misses, puts, putErrors, syncErrors uint64
+	corruptions, evictedSegs, evictedEntries  uint64
+	compactions                               uint64
+}
+
+// Open recovers the store in o.Dir, scanning every segment, dropping
+// torn tails and corrupt records, and rebuilding the index. It is the
+// only way to construct a Store.
+func Open(o Options) (*Store, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	o = o.withDefaults()
+	s := &Store{
+		opts:  o,
+		fs:    o.FS,
+		index: make(map[string]entryLoc),
+		segs:  make(map[uint64]*segInfo),
+	}
+	if err := s.fs.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.openActive(); err != nil {
+		return nil, err
+	}
+	if err := s.enforceMaxBytesLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) path(id uint64) string {
+	return fmt.Sprintf("%s%c%08d%s", s.opts.Dir, os.PathSeparator, id, segmentSuffix)
+}
+
+// recover scans the directory and rebuilds the index. Leftover .tmp
+// files (a crash mid-compaction) are deleted: the rename never
+// happened, so the original segment is still authoritative.
+func (s *Store) recover() error {
+	names, err := s.fs.ReadDir(s.opts.Dir)
+	if err != nil {
+		return err
+	}
+	var ids []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			if err := s.fs.Remove(s.opts.Dir + string(os.PathSeparator) + name); err != nil {
+				return fmt.Errorf("store: removing leftover %s: %w", name, err)
+			}
+			continue
+		}
+		var id uint64
+		if _, err := fmt.Sscanf(name, "%08d.seg", &id); err != nil || !strings.HasSuffix(name, segmentSuffix) {
+			continue // not a segment; leave foreign files alone
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		if err := s.scanSegment(id, i == len(ids)-1); err != nil {
+			return err
+		}
+	}
+	s.recovery.Segments = len(s.segIDs)
+	s.recovery.Entries = len(s.index)
+	return nil
+}
+
+// scanSegment reads one segment and indexes its valid records. A bad
+// record in the last segment is a torn tail: everything from it on is
+// truncated away. A bad record in an earlier segment is corruption: the
+// rest of that segment is skipped (its framing can no longer be
+// trusted) but the segment is kept for the records before the damage.
+func (s *Store) scanSegment(id uint64, last bool) error {
+	path := s.path(id)
+	size, err := s.fs.Size(path)
+	if err != nil {
+		return err
+	}
+	data, err := s.readAll(path, size)
+	if err != nil {
+		return err
+	}
+	info := &segInfo{size: size}
+	var off int64
+	for off < size {
+		key, _, n, derr := decodeRecord(data[off:])
+		if derr != nil {
+			if last {
+				s.recovery.TornTails++
+				s.recovery.TornBytes += size - off
+				if err := s.truncateSegment(path, off); err != nil {
+					return err
+				}
+				info.size = off
+			} else {
+				s.recovery.CorruptRecords++
+				s.recovery.SkippedBytes += size - off
+			}
+			break
+		}
+		s.indexRecord(key, entryLoc{seg: id, off: off, size: n}, info)
+		off += n
+	}
+	s.segs[id] = info
+	s.segIDs = append(s.segIDs, id)
+	return nil
+}
+
+// indexRecord points key at loc, accounting live bytes (a later record
+// for the same key supersedes an earlier one).
+func (s *Store) indexRecord(key string, loc entryLoc, info *segInfo) {
+	if old, ok := s.index[key]; ok {
+		s.liveBytes -= old.size
+		if oldSeg, ok := s.segs[old.seg]; ok {
+			oldSeg.live -= old.size
+		} else if old.seg == loc.seg {
+			info.live -= old.size
+		}
+	}
+	s.index[key] = loc
+	s.liveBytes += loc.size
+	info.live += loc.size
+}
+
+func (s *Store) readAll(path string, size int64) ([]byte, error) {
+	f, err := s.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, size)
+	if n, err := f.ReadAt(data, 0); n < len(data) {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	return data, nil
+}
+
+func (s *Store) truncateSegment(path string, size int64) error {
+	f, err := s.fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+// openActive opens the newest segment for appending, or creates the
+// first one.
+func (s *Store) openActive() error {
+	if n := len(s.segIDs); n > 0 && s.segs[s.segIDs[n-1]].size < s.opts.SegmentBytes {
+		s.active = s.segIDs[n-1]
+	} else {
+		id := uint64(1)
+		if n > 0 {
+			id = s.segIDs[n-1] + 1
+		}
+		s.segIDs = append(s.segIDs, id)
+		s.segs[id] = &segInfo{}
+		s.active = id
+	}
+	f, err := s.fs.OpenFile(s.path(s.active), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.activeFile = f
+	return nil
+}
+
+// Get returns the stored value for key. A record that fails validation
+// on read is counted as a corruption, dropped from the index, and
+// reported as a miss — corrupt bytes are never served.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	loc, ok := s.index[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	data, err := s.readRecordLocked(loc)
+	if err == nil {
+		gotKey, val, _, derr := decodeRecord(data)
+		if derr == nil && gotKey == key {
+			s.hits++
+			out := make([]byte, len(val))
+			copy(out, val)
+			return out, true
+		}
+	}
+	s.corruptions++
+	s.dropLocked(key, loc)
+	s.misses++
+	return nil, false
+}
+
+func (s *Store) readRecordLocked(loc entryLoc) ([]byte, error) {
+	f, err := s.fs.OpenFile(s.path(loc.seg), os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data := make([]byte, loc.size)
+	if n, err := f.ReadAt(data, loc.off); n < len(data) {
+		return nil, fmt.Errorf("store: reading record: %w", err)
+	}
+	return data, nil
+}
+
+func (s *Store) dropLocked(key string, loc entryLoc) {
+	delete(s.index, key)
+	s.liveBytes -= loc.size
+	if info, ok := s.segs[loc.seg]; ok {
+		info.live -= loc.size
+	}
+}
+
+// Put appends the value under key. Results are immutable (the key is a
+// content address), so storing an existing key is a no-op. On a write
+// error the partial append is truncated away; if even that fails the
+// damaged segment is sealed and a fresh one started, so one bad write
+// can never corrupt neighbouring records.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+	rec, err := encodeRecord(key, val)
+	if err != nil {
+		s.putErrors++
+		return err
+	}
+	info := s.segs[s.active]
+	if info.size > 0 && info.size+int64(len(rec)) > s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.putErrors++
+			return err
+		}
+		info = s.segs[s.active]
+	}
+	if _, werr := s.activeFile.Write(rec); werr != nil {
+		s.putErrors++
+		s.repairActiveTailLocked(info)
+		return fmt.Errorf("store: append %s: %w", key, werr)
+	}
+	loc := entryLoc{seg: s.active, off: info.size, size: int64(len(rec))}
+	info.size += loc.size
+	s.indexRecord(key, loc, info)
+	s.puts++
+	s.syncAppendLocked()
+	return s.enforceMaxBytesLocked()
+}
+
+// repairActiveTailLocked recovers from a failed append: truncate the
+// active segment back to its last good byte, or — if truncation fails
+// too — seal the damaged segment and start a fresh one. Startup
+// recovery would drop the torn tail anyway; this keeps the running
+// process equally safe.
+func (s *Store) repairActiveTailLocked(info *segInfo) {
+	if err := s.activeFile.Truncate(info.size); err == nil {
+		return
+	}
+	_ = s.rotateLocked() // best effort: a failing disk will surface on the next put
+}
+
+// syncAppendLocked applies the fsync policy after one append.
+func (s *Store) syncAppendLocked() {
+	switch s.opts.Sync {
+	case SyncAlways:
+		if err := s.activeFile.Sync(); err != nil {
+			s.syncErrors++
+		}
+	case SyncBatch:
+		s.sinceSync++
+		if s.sinceSync >= s.opts.SyncEvery {
+			if err := s.activeFile.Sync(); err != nil {
+				s.syncErrors++
+			}
+			s.sinceSync = 0
+		}
+	case SyncNever:
+		// The OS flushes whenever it likes.
+	}
+}
+
+// rotateLocked seals the active segment and opens the next one.
+func (s *Store) rotateLocked() error {
+	if s.activeFile != nil {
+		if err := s.activeFile.Sync(); err != nil {
+			s.syncErrors++
+		}
+		if err := s.activeFile.Close(); err != nil {
+			return fmt.Errorf("store: sealing segment %d: %w", s.active, err)
+		}
+		s.activeFile = nil
+	}
+	id := s.active + 1
+	f, err := s.fs.OpenFile(s.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	s.active = id
+	s.activeFile = f
+	s.segIDs = append(s.segIDs, id)
+	s.segs[id] = &segInfo{}
+	s.sinceSync = 0
+	return nil
+}
+
+// enforceMaxBytesLocked evicts the oldest sealed segments (files and
+// index entries both) until the store fits its bound. Whole-segment
+// eviction keeps reclaim O(1) in record count; the store is a cache, so
+// the evicted long-tail entries just recompute on next request.
+func (s *Store) enforceMaxBytesLocked() error {
+	for s.diskBytesLocked() > s.opts.MaxBytes && len(s.segIDs) > 1 {
+		victim := s.segIDs[0]
+		if victim == s.active {
+			break
+		}
+		for _, key := range s.keysInSegLocked(victim) {
+			s.dropLocked(key, s.index[key])
+			s.evictedEntries++
+		}
+		if err := s.fs.Remove(s.path(victim)); err != nil {
+			return err
+		}
+		delete(s.segs, victim)
+		s.segIDs = s.segIDs[1:]
+		s.evictedSegs++
+	}
+	return nil
+}
+
+func (s *Store) diskBytesLocked() int64 {
+	var total int64
+	for _, id := range s.segIDs {
+		total += s.segs[id].size
+	}
+	return total
+}
+
+// keysInSegLocked returns the index keys living in segment id, sorted
+// so eviction and compaction order is deterministic.
+func (s *Store) keysInSegLocked(id uint64) []string {
+	var keys []string
+	//lint:allow determinism keys are sorted below; map order cannot reach any output
+	for key, loc := range s.index {
+		if loc.seg == id {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SweepExcept drops every entry whose key does NOT start with keep —
+// the code-version invalidation: keys embed the simulator CodeVersion
+// as a literal prefix, so after a deploy one sweep removes everything
+// computed by older code. Segments left with dead bytes are compacted
+// through an atomic tmp+rename rewrite.
+func (s *Store) SweepExcept(keep string) (dropped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	keys := make([]string, 0, len(s.index))
+	//lint:allow determinism keys are sorted below; map order cannot reach any output
+	for key := range s.index {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if !strings.HasPrefix(key, keep) {
+			s.dropLocked(key, s.index[key])
+			dropped++
+		}
+	}
+	s.recovery.SweptEntries += dropped
+	if dropped == 0 {
+		return 0, nil
+	}
+	// Seal a dirty active segment first so the compaction loop below can
+	// rewrite it too; otherwise the swept records stay on disk and would
+	// be re-indexed by the next recovery.
+	if info := s.segs[s.active]; info != nil && info.size > 0 && info.live < info.size {
+		if err := s.rotateLocked(); err != nil {
+			return dropped, err
+		}
+	}
+	for _, id := range append([]uint64(nil), s.segIDs...) {
+		info := s.segs[id]
+		if id == s.active || info.live >= info.size {
+			continue
+		}
+		if cerr := s.compactSegmentLocked(id); cerr != nil {
+			return dropped, cerr
+		}
+	}
+	return dropped, nil
+}
+
+// compactSegmentLocked rewrites segment id with only its live records:
+// write them all to <seg>.tmp, fsync, rename over the original. A crash
+// at any point leaves either the old complete segment or the new
+// complete one — rename is the commit point.
+func (s *Store) compactSegmentLocked(id uint64) error {
+	keys := s.keysInSegLocked(id)
+	if len(keys) == 0 {
+		if err := s.fs.Remove(s.path(id)); err != nil {
+			return err
+		}
+		delete(s.segs, id)
+		for i, sid := range s.segIDs {
+			if sid == id {
+				s.segIDs = append(s.segIDs[:i], s.segIDs[i+1:]...)
+				break
+			}
+		}
+		s.compactions++
+		return nil
+	}
+	type keep struct {
+		key  string
+		data []byte
+	}
+	kept := make([]keep, 0, len(keys))
+	for _, key := range keys {
+		data, err := s.readRecordLocked(s.index[key])
+		if err != nil {
+			return err
+		}
+		kept = append(kept, keep{key, data})
+	}
+	tmp := s.path(id) + tmpSuffix
+	f, err := s.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var off int64
+	newLocs := make([]entryLoc, len(kept))
+	for i, k := range kept {
+		if _, err := f.Write(k.data); err != nil {
+			f.Close()
+			return fmt.Errorf("store: compacting segment %d: %w", id, err)
+		}
+		newLocs[i] = entryLoc{seg: id, off: off, size: int64(len(k.data))}
+		off += int64(len(k.data))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compacting segment %d: %w", id, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: compacting segment %d: %w", id, err)
+	}
+	if err := s.fs.Rename(tmp, s.path(id)); err != nil {
+		return err
+	}
+	for i, k := range kept {
+		s.index[k.key] = newLocs[i]
+	}
+	info := s.segs[id]
+	info.size = off
+	info.live = off
+	s.compactions++
+	return nil
+}
+
+// Flush fsyncs the active segment regardless of policy.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.activeFile.Sync(); err != nil {
+		s.syncErrors++
+		return fmt.Errorf("store: flush: %w", err)
+	}
+	s.sinceSync = 0
+	return nil
+}
+
+// Close flushes and closes the store. Further operations return
+// ErrClosed (Get degrades to a miss). Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.activeFile == nil {
+		return nil
+	}
+	if err := s.activeFile.Sync(); err != nil {
+		s.syncErrors++
+	}
+	if err := s.activeFile.Close(); err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	s.activeFile = nil
+	return nil
+}
+
+// Len reports the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns every indexed key, sorted.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	//lint:allow determinism keys are sorted below; map order cannot reach any output
+	for key := range s.index {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Entries:         len(s.index),
+		LiveBytes:       s.liveBytes,
+		DiskBytes:       s.diskBytesLocked(),
+		Segments:        len(s.segIDs),
+		Hits:            s.hits,
+		Misses:          s.misses,
+		Puts:            s.puts,
+		PutErrors:       s.putErrors,
+		SyncErrors:      s.syncErrors,
+		Corruptions:     s.corruptions,
+		EvictedSegments: s.evictedSegs,
+		EvictedEntries:  s.evictedEntries,
+		Compactions:     s.compactions,
+		Recovery:        s.recovery,
+	}
+}

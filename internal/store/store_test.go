@@ -1,0 +1,446 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTest(t *testing.T, dir string, mutate ...func(*Options)) *Store {
+	t.Helper()
+	o := Options{Dir: dir, Sync: SyncNever}
+	for _, m := range mutate {
+		m(&o)
+	}
+	s, err := Open(o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, key string, val []byte) {
+	t.Helper()
+	if err := s.Put(key, val); err != nil {
+		t.Fatalf("Put %s: %v", key, err)
+	}
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	val := []byte(`{"report": "fig5", "cpi": 1.94}`)
+	mustPut(t, s, "v1/abc", val)
+	got, ok := s.Get("v1/abc")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q, %v; want the stored bytes", got, ok)
+	}
+	if _, ok := s.Get("v1/missing"); ok {
+		t.Fatal("Get on an absent key reported a hit")
+	}
+	// Stored results are immutable: re-putting is a no-op, not an
+	// overwrite.
+	mustPut(t, s, "v1/abc", val)
+	st := s.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	vals := map[string][]byte{}
+	s := openTest(t, dir)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("v1/key-%03d", i)
+		val := bytes.Repeat([]byte{byte(i)}, 100+i)
+		vals[key] = val
+		mustPut(t, s, key, val)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir)
+	rec := s2.Stats().Recovery
+	if rec.Entries != 50 || rec.TornTails != 0 || rec.CorruptRecords != 0 {
+		t.Fatalf("recovery %+v, want 50 clean entries", rec)
+	}
+	for _, key := range s2.Keys() {
+		got, ok := s2.Get(key)
+		if !ok || !bytes.Equal(got, vals[key]) {
+			t.Fatalf("%s: Get = %v %v after reopen", key, ok, got)
+		}
+	}
+}
+
+func TestClosedStoreRefusesWork(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	mustPut(t, s, "v1/a", []byte("x"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v (want idempotent nil)", err)
+	}
+	if err := s.Put("v1/b", []byte("y")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close: %v, want ErrClosed", err)
+	}
+	if _, ok := s.Get("v1/a"); ok {
+		t.Fatal("Get after Close reported a hit")
+	}
+	if err := s.Flush(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+	}
+	if _, err := s.SweepExcept("v1/"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SweepExcept after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, fmt.Sprintf("v1/key-%02d", i), bytes.Repeat([]byte("x"), 64))
+	}
+	if st := s.Stats(); st.Segments < 4 {
+		t.Fatalf("only %d segments after writing %d bytes past a 256-byte bound", st.Segments, s.Stats().LiveBytes)
+	}
+	for i := 0; i < 20; i++ {
+		if _, ok := s.Get(fmt.Sprintf("v1/key-%02d", i)); !ok {
+			t.Fatalf("key %d lost across rotation", i)
+		}
+	}
+	s.Close()
+	// And every segment recovers.
+	s2 := openTest(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+	if s2.Len() != 20 {
+		t.Fatalf("recovered %d entries, want 20", s2.Len())
+	}
+}
+
+func TestMaxBytesEvictsOldestSegments(t *testing.T) {
+	s := openTest(t, t.TempDir(), func(o *Options) {
+		o.SegmentBytes = 256
+		o.MaxBytes = 1024
+	})
+	for i := 0; i < 64; i++ {
+		mustPut(t, s, fmt.Sprintf("v1/key-%02d", i), bytes.Repeat([]byte("x"), 64))
+	}
+	st := s.Stats()
+	if st.DiskBytes > 1024+256 { // one segment of slack while the active one fills
+		t.Fatalf("disk bytes %d way above the 1024 bound", st.DiskBytes)
+	}
+	if st.EvictedSegments == 0 || st.EvictedEntries == 0 {
+		t.Fatalf("no eviction recorded: %+v", st)
+	}
+	// Newest entries survive, oldest are gone.
+	if _, ok := s.Get("v1/key-63"); !ok {
+		t.Fatal("newest key evicted")
+	}
+	if _, ok := s.Get("v1/key-00"); ok {
+		t.Fatal("oldest key still present despite eviction")
+	}
+}
+
+func TestSweepExceptDropsStalePrefixAndCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	old := []byte("old-code result")
+	cur := []byte("current result")
+	for i := 0; i < 8; i++ {
+		mustPut(t, s, fmt.Sprintf("sim/0/key-%d", i), old)
+		mustPut(t, s, fmt.Sprintf("sim/1/key-%d", i), cur)
+	}
+	dropped, err := s.SweepExcept("sim/1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 8 {
+		t.Fatalf("dropped %d, want 8", dropped)
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := s.Get(fmt.Sprintf("sim/0/key-%d", i)); ok {
+			t.Fatal("stale-version entry still served after sweep")
+		}
+		got, ok := s.Get(fmt.Sprintf("sim/1/key-%d", i))
+		if !ok || !bytes.Equal(got, cur) {
+			t.Fatal("current-version entry lost by sweep")
+		}
+	}
+	if st := s.Stats(); st.Recovery.SweptEntries != 8 {
+		t.Fatalf("swept %d, want 8: %+v", st.Recovery.SweptEntries, st)
+	}
+	// Idempotent: nothing left to drop.
+	if dropped, err := s.SweepExcept("sim/1/"); err != nil || dropped != 0 {
+		t.Fatalf("second sweep: %d, %v", dropped, err)
+	}
+	s.Close()
+	// The swept entries are gone on disk too, not just unindexed.
+	s2 := openTest(t, dir)
+	if got := s2.Len(); got != 8 {
+		t.Fatalf("reopen found %d entries, want 8 (sweep must persist)", got)
+	}
+}
+
+// TestSweepCompactsSealedSegments forces the stale entries into sealed
+// segments so the sweep's tmp+rename compaction path runs.
+func TestSweepCompactsSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+	for i := 0; i < 10; i++ {
+		mustPut(t, s, fmt.Sprintf("sim/0/key-%d", i), bytes.Repeat([]byte("o"), 64))
+		mustPut(t, s, fmt.Sprintf("sim/1/key-%d", i), bytes.Repeat([]byte("c"), 64))
+	}
+	before := s.Stats().DiskBytes
+	dropped, err := s.SweepExcept("sim/1/")
+	if err != nil || dropped != 10 {
+		t.Fatalf("sweep: %d, %v", dropped, err)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", st)
+	}
+	if st.DiskBytes >= before {
+		t.Fatalf("disk bytes %d not reclaimed (was %d)", st.DiskBytes, before)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := s.Get(fmt.Sprintf("sim/1/key-%d", i))
+		if !ok || !bytes.Equal(got, bytes.Repeat([]byte("c"), 64)) {
+			t.Fatalf("live key %d damaged by compaction", i)
+		}
+	}
+	// No .tmp litter.
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("compaction left tmp files: %v", tmps)
+	}
+}
+
+// TestTornWriteRecovery is the table-driven crash matrix: a segment cut
+// at every interesting byte boundary of its final record must recover
+// every earlier record and drop the torn one.
+func TestTornWriteRecovery(t *testing.T) {
+	const keep = 5
+	lastKey := fmt.Sprintf("v1/key-%d", keep)
+	build := func(t *testing.T) (dir string, lastRecSize int64, fileSize int64) {
+		dir = t.TempDir()
+		s := openTest(t, dir)
+		for i := 0; i < keep; i++ {
+			mustPut(t, s, fmt.Sprintf("v1/key-%d", i), bytes.Repeat([]byte{byte(i)}, 50))
+		}
+		mustPut(t, s, lastKey, bytes.Repeat([]byte("z"), 50))
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := encodeRecord(lastKey, bytes.Repeat([]byte("z"), 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg := segFiles(t, dir)[0]
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, int64(len(rec)), fi.Size()
+	}
+
+	cases := []struct {
+		name string
+		cut  int64 // bytes cut off the end of the last record
+	}{
+		{"one byte short", 1},
+		{"half the body", 30},
+		{"body entirely missing", 50},
+		{"mid header", 0}, // filled in below: leave 4 header bytes
+		{"only magic", 0}, // leave 4 bytes
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, recSize, fileSize := build(t)
+			cut := tc.cut
+			switch i {
+			case 3:
+				cut = recSize - headerSize/2
+			case 4:
+				cut = recSize - 4
+			}
+			seg := segFiles(t, dir)[0]
+			if err := os.Truncate(seg, fileSize-cut); err != nil {
+				t.Fatal(err)
+			}
+			s := openTest(t, dir)
+			rec := s.Stats().Recovery
+			if rec.Entries != keep || rec.TornTails != 1 {
+				t.Fatalf("recovery %+v, want %d entries and 1 torn tail", rec, keep)
+			}
+			if rec.TornBytes != recSize-cut {
+				t.Fatalf("torn bytes %d, want %d", rec.TornBytes, recSize-cut)
+			}
+			if _, ok := s.Get(lastKey); ok {
+				t.Fatal("torn record served")
+			}
+			for j := 0; j < keep; j++ {
+				got, ok := s.Get(fmt.Sprintf("v1/key-%d", j))
+				if !ok || !bytes.Equal(got, bytes.Repeat([]byte{byte(j)}, 50)) {
+					t.Fatalf("record %d lost or damaged by tail truncation", j)
+				}
+			}
+			// The torn tail was truncated off: appends resume cleanly.
+			mustPut(t, s, "v1/after-crash", []byte("new"))
+			s.Close()
+			s2 := openTest(t, dir)
+			if rec := s2.Stats().Recovery; rec.TornTails != 0 || rec.Entries != keep+1 {
+				t.Fatalf("second recovery %+v: first one left a mess", rec)
+			}
+		})
+	}
+}
+
+// TestCorruptCRCRecovery covers bit rot: a flipped byte in a record's
+// body must fail the CRC, drop the record, and never be served.
+func TestCorruptCRCRecovery(t *testing.T) {
+	t.Run("mid segment at recovery", func(t *testing.T) {
+		// Two segments; corrupt the first (sealed) one. Recovery counts
+		// a corrupt record, keeps records before the damage, and keeps
+		// the later segment whole.
+		dir := t.TempDir()
+		s := openTest(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+		for i := 0; i < 12; i++ {
+			mustPut(t, s, fmt.Sprintf("v1/key-%02d", i), bytes.Repeat([]byte{byte('a' + i)}, 64))
+		}
+		nseg := s.Stats().Segments
+		if nseg < 3 {
+			t.Fatalf("want >= 3 segments, got %d", nseg)
+		}
+		s.Close()
+
+		first := segFiles(t, dir)[0]
+		data, err := os.ReadFile(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip a byte in the SECOND record's body so the first record
+		// still proves "records before the damage survive".
+		_, _, rec0, err := decodeRecord(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[rec0+headerSize+20] ^= 0xFF
+		if err := os.WriteFile(first, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		s2 := openTest(t, dir, func(o *Options) { o.SegmentBytes = 256 })
+		rec := s2.Stats().Recovery
+		if rec.CorruptRecords != 1 {
+			t.Fatalf("recovery %+v, want exactly 1 corrupt record", rec)
+		}
+		if got, ok := s2.Get("v1/key-00"); !ok || !bytes.Equal(got, bytes.Repeat([]byte{'a'}, 64)) {
+			t.Fatal("record before the corruption lost")
+		}
+		if _, ok := s2.Get("v1/key-01"); ok {
+			t.Fatal("corrupt record served")
+		}
+		if got, ok := s2.Get("v1/key-11"); !ok || len(got) != 64 {
+			t.Fatal("later segment damaged by earlier segment's corruption")
+		}
+	})
+
+	t.Run("at read time", func(t *testing.T) {
+		// Corruption that appears while the store is open (bit rot
+		// under a running daemon) is caught by the read-path CRC.
+		dir := t.TempDir()
+		s := openTest(t, dir)
+		mustPut(t, s, "v1/rot", bytes.Repeat([]byte("r"), 128))
+		s.Flush()
+		seg := segFiles(t, dir)[0]
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[headerSize+30] ^= 0x01
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("v1/rot"); ok {
+			t.Fatal("corrupt bytes served")
+		}
+		st := s.Stats()
+		if st.Corruptions != 1 {
+			t.Fatalf("corruptions %d, want 1", st.Corruptions)
+		}
+		if _, ok := s.Get("v1/rot"); ok {
+			t.Fatal("corrupt record resurrected")
+		}
+	})
+}
+
+// TestRecoveryRemovesTmpLitter simulates a crash mid-compaction: a
+// leftover .tmp file must be deleted, with the original segment still
+// authoritative.
+func TestRecoveryRemovesTmpLitter(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir)
+	mustPut(t, s, "v1/a", []byte("alive"))
+	s.Close()
+	tmp := filepath.Join(dir, "00000001.seg.tmp")
+	if err := os.WriteFile(tmp, []byte("half-finished compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openTest(t, dir)
+	if got, ok := s2.Get("v1/a"); !ok || string(got) != "alive" {
+		t.Fatal("original segment lost")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp litter survived recovery: %v", err)
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{},
+		{Dir: "x", MaxBytes: -1},
+		{Dir: "x", SegmentBytes: 4},
+		{Dir: "x", SyncEvery: -1},
+		{Dir: "x", Sync: "sometimes"},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %+v accepted", o)
+		}
+	}
+	if err := (Options{Dir: t.TempDir()}).Validate(); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+	if _, err := ParseSyncPolicy("always"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseSyncPolicy("continuously"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestRecordBounds(t *testing.T) {
+	s := openTest(t, t.TempDir())
+	if err := s.Put("", []byte("x")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte("k"), maxKeyLen+1)), []byte("x")); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if st := s.Stats(); st.PutErrors != 2 {
+		t.Errorf("put errors %d, want 2", st.PutErrors)
+	}
+}
