@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/store"
@@ -132,6 +133,130 @@ func TestChaosCrashMidWrite(t *testing.T) {
 				t.Fatalf("torn record %q served after recovery", torn)
 			}
 		})
+	}
+}
+
+// TestChaosRotateOpenFailureKeepsServing: failing to open the next
+// segment during rotation (transient ENOSPC/EMFILE) must fail that Put
+// and nothing else — no nil active file, no panic out of the next Put
+// or Flush, and the rotation succeeds when retried.
+func TestChaosRotateOpenFailureKeepsServing(t *testing.T) {
+	set := faultinject.New(7, faultinject.Rule{
+		Site: faultinject.SiteOpen, Path: "00000002.seg", Times: 1, Kind: faultinject.KindError,
+	})
+	dir := t.TempDir()
+	s, err := store.Open(store.Options{
+		Dir: dir, Sync: store.SyncNever, SegmentBytes: 128,
+		FS: faultinject.WrapFS(store.OS, set),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+
+	val := bytes.Repeat([]byte("r"), 100)
+	if err := s.Put("v1/key-0", val); err != nil {
+		t.Fatalf("first Put: %v", err)
+	}
+	// The second put overflows the 128-byte segment, forcing a rotation
+	// whose OpenFile is the injected failure.
+	if err := s.Put("v1/key-1", val); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("Put across the failed rotation = %v, want the injected error", err)
+	}
+	// The store must still be fully alive: Flush and a retried Put go
+	// through the old active file / a fresh rotation, not a nil handle.
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush after failed rotation: %v", err)
+	}
+	if err := s.Put("v1/key-1", val); err != nil {
+		t.Fatalf("retried Put after failed rotation: %v", err)
+	}
+	if st := s.Stats(); st.PutErrors != 1 {
+		t.Fatalf("put errors %d, want 1: %+v", st.PutErrors, st)
+	}
+	for _, key := range []string{"v1/key-0", "v1/key-1"} {
+		if got, ok := s.Get(key); !ok || !bytes.Equal(got, val) {
+			t.Fatalf("key %q lost across the failed rotation", key)
+		}
+	}
+	s.Close()
+	s2 := reopenClean(t, dir)
+	if got := s2.Len(); got != 2 {
+		t.Fatalf("reopen holds %d entries, want 2 (recovery %+v)", got, s2.Stats().Recovery)
+	}
+}
+
+// TestChaosSlowReadDoesNotBlockStore: a Get stalled on a slow disk must
+// not hold the store lock — concurrent Puts and sweeps proceed, and a
+// record swept out from under an in-flight read comes back as a plain
+// miss, never as a false corruption.
+func TestChaosSlowReadDoesNotBlockStore(t *testing.T) {
+	const slow = time.Second
+	set := faultinject.New(7, faultinject.Rule{
+		Site: faultinject.SiteReadAt, Path: ".seg", Times: 1,
+		Kind: faultinject.KindSlow, Delay: slow,
+	})
+	s := openFaulty(t, t.TempDir(), set, store.SyncNever)
+	if err := s.Put("old/key", []byte("stale result")); err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		val []byte
+		ok  bool
+	}
+	done := make(chan result, 1)
+	go func() {
+		val, ok := s.Get("old/key")
+		done <- result{val, ok}
+	}()
+	// Give the goroutine time to enter the slow ReadAt, then show the
+	// store is not head-of-line blocked behind it.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := s.Put("new/key", []byte("fresh result")); err != nil {
+		t.Fatalf("Put during slow read: %v", err)
+	}
+	if _, err := s.SweepExcept("new/"); err != nil {
+		t.Fatalf("sweep during slow read: %v", err)
+	}
+	if took := time.Since(start); took >= slow/2 {
+		t.Fatalf("Put+sweep blocked %v behind a %v disk read", took, slow)
+	}
+
+	// The reader's record was swept while its read slept: a miss, not a
+	// corruption, and never stale bytes presented as a hit.
+	if r := <-done; r.ok {
+		t.Fatalf("Get returned %q for a key swept mid-read", r.val)
+	}
+	if st := s.Stats(); st.Corruptions != 0 {
+		t.Fatalf("a swept-mid-read record was miscounted as corruption: %+v", st)
+	}
+	if got, ok := s.Get("new/key"); !ok || !bytes.Equal(got, []byte("fresh result")) {
+		t.Fatal("surviving key unreadable after concurrent read/sweep")
+	}
+}
+
+// TestChaosDirSyncFailureCountedNotFatal: a failing directory fsync
+// (after segment creation or a compaction rename) reduces durability,
+// not correctness — it is counted in SyncErrors and nothing fails.
+func TestChaosDirSyncFailureCountedNotFatal(t *testing.T) {
+	set := faultinject.New(7, faultinject.Rule{
+		Site: faultinject.SiteSyncDir, Kind: faultinject.KindError,
+	})
+	s := openFaulty(t, t.TempDir(), set, store.SyncNever)
+	if err := s.Put("v1/key", []byte("value")); err != nil {
+		t.Fatalf("Put under failing dir fsync: %v", err)
+	}
+	if _, err := s.SweepExcept("v2/"); err != nil {
+		t.Fatalf("sweep under failing dir fsync: %v", err)
+	}
+	st := s.Stats()
+	if st.SyncErrors == 0 {
+		t.Fatalf("failed directory fsyncs were not counted: %+v", st)
+	}
+	if st.PutErrors != 0 {
+		t.Fatalf("dir fsync failure leaked into put errors: %+v", st)
 	}
 }
 

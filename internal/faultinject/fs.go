@@ -20,6 +20,7 @@ const (
 	SiteReadDir  = "fs.readdir"
 	SiteMkdir    = "fs.mkdir"
 	SiteSize     = "fs.size"
+	SiteSyncDir  = "fs.syncdir"
 )
 
 // WrapFS interposes the fault set on every operation of inner. Partial
@@ -72,6 +73,13 @@ func (f *faultFS) MkdirAll(dir string, perm iofs.FileMode) error {
 		return err
 	}
 	return f.inner.MkdirAll(dir, perm)
+}
+
+func (f *faultFS) SyncDir(dir string) error {
+	if err := f.set.Fire(SiteSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
 }
 
 func (f *faultFS) Size(name string) (int64, error) {

@@ -26,6 +26,9 @@ type FS interface {
 	MkdirAll(dir string, perm iofs.FileMode) error
 	// Size reports the byte size of the named file.
 	Size(name string) (int64, error)
+	// SyncDir fsyncs the directory itself, making file creations and
+	// renames inside it durable across power loss.
+	SyncDir(dir string) error
 }
 
 // File is one open file handle: append writes, random reads, fsync,
@@ -85,6 +88,18 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 func (osFS) MkdirAll(dir string, perm iofs.FileMode) error {
 	if err := os.MkdirAll(dir, perm); err != nil {
 		return fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	return nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: fsync dir %s: %w", dir, err)
 	}
 	return nil
 }

@@ -375,7 +375,20 @@ func (s *Store) openActive() error {
 		return err
 	}
 	s.activeFile = f
+	s.syncDirLocked()
 	return nil
+}
+
+// syncDirLocked fsyncs the store directory itself, making directory-
+// level mutations — segment creation, compaction renames — durable
+// across power loss, not just the bytes inside the files. A failure is
+// counted, not fatal, exactly like a failed file fsync: correctness of
+// what is served never depends on it, only how much a power cut can
+// undo.
+func (s *Store) syncDirLocked() {
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		s.syncErrors++
+	}
 }
 
 // Get returns the stored value for key. A record that fails validation
@@ -383,16 +396,37 @@ func (s *Store) openActive() error {
 // reported as a miss — corrupt bytes are never served.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, false
 	}
 	loc, ok := s.index[key]
 	if !ok {
 		s.misses++
+		s.mu.Unlock()
 		return nil, false
 	}
-	data, err := s.readRecordLocked(loc)
+	s.mu.Unlock()
+
+	// Read without the lock: a slow disk must not turn into
+	// head-of-line blocking for every other Get and Put. loc is a value
+	// copy and fs/opts are immutable after Open, so nothing here needs
+	// the mutex.
+	data, err := s.readRecord(loc)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	if cur, ok := s.index[key]; !ok || cur != loc {
+		// The record moved (compaction) or vanished (sweep, segment
+		// eviction) while we were reading. Whatever we read is not
+		// evidence of corruption — report a miss and leave the index
+		// alone.
+		s.misses++
+		return nil, false
+	}
 	if err == nil {
 		gotKey, val, _, derr := decodeRecord(data)
 		if derr == nil && gotKey == key {
@@ -408,7 +442,10 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-func (s *Store) readRecordLocked(loc entryLoc) ([]byte, error) {
+// readRecord reads the framed record at loc. It takes no locks: loc is
+// a value and the fs/path inputs are immutable after Open, so callers
+// may invoke it with or without s.mu held.
+func (s *Store) readRecord(loc entryLoc) ([]byte, error) {
 	f, err := s.fs.OpenFile(s.path(loc.seg), os.O_RDONLY, 0)
 	if err != nil {
 		return nil, err
@@ -501,27 +538,33 @@ func (s *Store) syncAppendLocked() {
 	}
 }
 
-// rotateLocked seals the active segment and opens the next one.
+// rotateLocked seals the active segment and opens the next one. The
+// next segment is opened before the current one is closed: a failed
+// open (transient ENOSPC/EMFILE, an injected fault) must leave the
+// store still appending to the old segment, never with a nil active
+// file that the next Put or Flush would dereference.
 func (s *Store) rotateLocked() error {
-	if s.activeFile != nil {
-		if err := s.activeFile.Sync(); err != nil {
-			s.syncErrors++
-		}
-		if err := s.activeFile.Close(); err != nil {
-			return fmt.Errorf("store: sealing segment %d: %w", s.active, err)
-		}
-		s.activeFile = nil
-	}
 	id := s.active + 1
 	f, err := s.fs.OpenFile(s.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
+	old := s.activeFile
 	s.active = id
 	s.activeFile = f
 	s.segIDs = append(s.segIDs, id)
 	s.segs[id] = &segInfo{}
 	s.sinceSync = 0
+	s.syncDirLocked()
+	if old == nil {
+		return nil
+	}
+	if err := old.Sync(); err != nil {
+		s.syncErrors++
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("store: sealing segment %d: %w", id-1, err)
+	}
 	return nil
 }
 
@@ -644,7 +687,7 @@ func (s *Store) compactSegmentLocked(id uint64) error {
 	}
 	kept := make([]keep, 0, len(keys))
 	for _, key := range keys {
-		data, err := s.readRecordLocked(s.index[key])
+		data, err := s.readRecord(s.index[key])
 		if err != nil {
 			return err
 		}
@@ -675,6 +718,9 @@ func (s *Store) compactSegmentLocked(id uint64) error {
 	if err := s.fs.Rename(tmp, s.path(id)); err != nil {
 		return err
 	}
+	// The rename is the commit point; fsync the directory so power loss
+	// cannot un-commit it.
+	s.syncDirLocked()
 	for i, k := range kept {
 		s.index[k.key] = newLocs[i]
 	}
