@@ -1,17 +1,29 @@
 // Command cachelint runs the repo-specific static-analysis suite of
-// internal/lint: nopanic, errwrap, determinism, exhaustive, and
-// statscoverage (see the package documentation for each rule's
+// internal/lint: the syntactic rules (nopanic, errwrap, determinism,
+// exhaustive, statscoverage) and the flow-aware v2 rules (lockscope,
+// goroutinelife, ctxflow, closeall, keystable) built on the package's
+// intraprocedural CFG (see the package documentation for each rule's
 // rationale).
 //
 // Usage:
 //
-//	cachelint [-json] [-list] [-run name,name] [packages]
+//	cachelint [-json] [-list] [-run name,name] [-diff-base ref] [packages]
 //
 // Packages are directories ("./internal/core"), import paths
 // ("repro/internal/core"), or the recursive pattern "./...". With no
 // arguments it lints the whole module. Findings print one per line as
 // "file:line:col: analyzer: message"; the exit status is 1 when there
 // are findings, 2 on a load or usage error, and 0 on a clean tree.
+//
+// With -json the output is a single summary object: the ruleset
+// version, the number of packages linted, a clean flag, per-analyzer
+// finding counts, and the findings themselves.
+//
+// With -diff-base <ref> only findings in files changed since the given
+// git ref (plus untracked files) are reported — the incremental mode a
+// pre-push hook or a PR gate wants. Analysis still runs over whole
+// packages, so cross-function facts stay correct; only the report is
+// narrowed.
 //
 // A finding is suppressed, with justification, by a directive on the
 // offending line or the line above:
@@ -21,9 +33,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/lint"
@@ -35,9 +51,10 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "print findings as a JSON array")
-		list    = flag.Bool("list", false, "list the analyzers and exit")
-		runSel  = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "print a JSON summary (version, counts, findings)")
+		list     = flag.Bool("list", false, "list the analyzers and exit")
+		runSel   = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		diffBase = flag.String("diff-base", "", "report only findings in files changed since this git ref")
 	)
 	flag.Parse()
 
@@ -104,14 +121,19 @@ func run() int {
 		}
 	}
 
-	findings := lint.Check(dedupe(pkgs), analyzers)
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
+	pkgs = dedupe(pkgs)
+	findings := lint.Check(pkgs, analyzers)
+	if *diffBase != "" {
+		changed, err := changedFiles(root, *diffBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cachelint:", err)
+			return 2
 		}
-		if err := enc.Encode(findings); err != nil {
+		findings = filterByFiles(findings, changed)
+	}
+
+	if *jsonOut {
+		if err := writeSummary(os.Stdout, lint.NewSummary(len(pkgs), findings)); err != nil {
 			fmt.Fprintln(os.Stderr, "cachelint:", err)
 			return 2
 		}
@@ -127,6 +149,65 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeSummary encodes the summary as indented JSON.
+func writeSummary(w io.Writer, sum *lint.Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}
+
+// changedFiles returns the set of absolute paths changed since ref,
+// including files git does not track yet (a new file's findings are
+// exactly the ones an incremental run must not drop).
+func changedFiles(root, ref string) (map[string]bool, error) {
+	set := map[string]bool{}
+	diff := exec.Command("git", "-C", root, "diff", "--name-only", ref)
+	out, err := diff.Output()
+	if err != nil {
+		return nil, fmt.Errorf("diff-base %q: git diff: %w", ref, gitErr(err))
+	}
+	addLines(set, root, out)
+	untracked := exec.Command("git", "-C", root, "ls-files", "--others", "--exclude-standard")
+	out, err = untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("diff-base %q: git ls-files: %w", ref, gitErr(err))
+	}
+	addLines(set, root, out)
+	return set, nil
+}
+
+// gitErr surfaces git's stderr instead of the bare "exit status 128".
+func gitErr(err error) error {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) && len(ee.Stderr) > 0 {
+		return fmt.Errorf("%s", strings.TrimSpace(string(ee.Stderr)))
+	}
+	return err
+}
+
+// addLines resolves newline-separated repo-relative paths against root
+// and adds them to set.
+func addLines(set map[string]bool, root string, out []byte) {
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		set[filepath.Join(root, filepath.FromSlash(line))] = true
+	}
+}
+
+// filterByFiles keeps only findings whose file is in the changed set.
+func filterByFiles(findings []lint.Finding, changed map[string]bool) []lint.Finding {
+	var out []lint.Finding
+	for _, f := range findings {
+		if changed[f.File] {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // dedupe drops repeated packages while preserving order, so overlapping

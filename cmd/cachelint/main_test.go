@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the observed output")
+
+// TestSummaryJSONGolden pins the -json wire format: the version string,
+// per-analyzer counts, and finding fields. A deliberate format change
+// updates the golden file (go test -run SummaryJSON -update); an
+// accidental one fails here before it breaks downstream consumers.
+func TestSummaryJSONGolden(t *testing.T) {
+	findings := []lint.Finding{
+		{File: "internal/store/store.go", Line: 41, Col: 9, Analyzer: "lockscope", Message: "blocking call to (repro/internal/store.File).Sync while holding s.mu"},
+		{File: "internal/store/store.go", Line: 77, Col: 2, Analyzer: "lockscope", Message: "blocking send on ch while holding b.mu"},
+		{File: "internal/service/api.go", Line: 12, Col: 20, Analyzer: "keystable", Message: "order-unstable value flows into the content-address hash"},
+	}
+	var buf bytes.Buffer
+	if err := writeSummary(&buf, lint.NewSummary(7, findings)); err != nil {
+		t.Fatalf("writeSummary: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "summary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary JSON drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSummaryJSONClean checks the zero-findings shape: clean=true and
+// the counts/findings keys omitted entirely.
+func TestSummaryJSONClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSummary(&buf, lint.NewSummary(12, nil)); err != nil {
+		t.Fatalf("writeSummary: %v", err)
+	}
+	want := "{\n  \"version\": \"" + lint.Version + "\",\n  \"packages\": 12,\n  \"clean\": true\n}\n"
+	if got := buf.String(); got != want {
+		t.Errorf("clean summary = %q, want %q", got, want)
+	}
+}
+
+// TestFilterByFiles checks the -diff-base narrowing: only findings in
+// the changed set survive, order preserved.
+func TestFilterByFiles(t *testing.T) {
+	findings := []lint.Finding{
+		{File: "/repo/a.go", Line: 1, Analyzer: "nopanic"},
+		{File: "/repo/b.go", Line: 2, Analyzer: "errwrap"},
+		{File: "/repo/a.go", Line: 3, Analyzer: "ctxflow"},
+	}
+	got := filterByFiles(findings, map[string]bool{"/repo/a.go": true})
+	if len(got) != 2 || got[0].Line != 1 || got[1].Line != 3 {
+		t.Errorf("filterByFiles kept %v, want the two /repo/a.go findings", got)
+	}
+	if out := filterByFiles(findings, nil); out != nil {
+		t.Errorf("empty changed set should drop everything, got %v", out)
+	}
+}
+
+// TestChangedFilesUntracked checks that a brand-new (untracked) file is
+// part of the changed set — its findings are exactly what an
+// incremental gate must not drop.
+func TestChangedFilesUntracked(t *testing.T) {
+	root, _, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	tmp, err := os.CreateTemp(root, "cachelint_untracked_*.go.txt")
+	if err != nil {
+		t.Fatalf("temp file: %v", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		t.Fatalf("close temp file: %v", err)
+	}
+	defer os.Remove(name)
+
+	changed, err := changedFiles(root, "HEAD")
+	if err != nil {
+		t.Skipf("git unavailable: %v", err)
+	}
+	if !changed[name] {
+		t.Errorf("untracked %s missing from changed set", name)
+	}
+}

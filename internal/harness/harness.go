@@ -123,6 +123,7 @@ func (m *Manifest) WriteFile(path string) error {
 // is non-nil when any job failed (or was skipped by fail-fast); the
 // manifest is complete and valid either way.
 func Run(specs []Spec, o Options) (*Manifest, error) {
+	//lint:allow ctxflow compatibility wrapper for CLI batch callers (cmd/sweep) that have no surrounding lifetime; request-path code uses RunContext
 	return RunContext(context.Background(), specs, o)
 }
 
@@ -243,6 +244,7 @@ func attempt(ctx context.Context, s Spec, timeout time.Duration) (string, *RunEr
 		err *RunError
 	}
 	ch := make(chan outcome, 1)
+	//lint:allow goroutinelife deliberate abandonment: Go cannot preempt an uncooperative Run, so on timeout the harness moves on and this goroutine exits when Run returns; the buffered channel guarantees its send never parks forever
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

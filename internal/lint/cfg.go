@@ -1,0 +1,423 @@
+package lint
+
+// Intraprocedural control-flow graph over go/ast statements.
+//
+// The flow-aware analyzers (lockscope, closeall) need to reason about
+// "every path" and "some path" through a function body — which the
+// syntactic walkers cannot do once a Lock/defer-Unlock pair or an early
+// return enters the picture. The builder here is deliberately small:
+// one basic block per straight-line statement run, edges for
+// if/for/range/switch/type-switch/select/branch statements, and defers
+// recorded on the graph (they run at every function exit, so analyzers
+// treat them as a suffix of the Exit block rather than as edges).
+//
+// Function literals are NOT descended into: a FuncLit is an opaque
+// value in the enclosing graph, and callers build a separate CFG for
+// its body when they need one. `go` statements keep their call node in
+// the block (so analyzers can see the spawn) but the spawned work is
+// likewise not part of this function's flow.
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal run of statements with a single
+// entry and the successor edges out of its terminator.
+type Block struct {
+	// Index is the block's position in CFG.Blocks, stable across
+	// identical builds (blocks are appended in source order).
+	Index int
+	// Stmts holds the block's statements/expressions in execution
+	// order. Entries are ast.Stmt or ast.Expr (conditions appear as
+	// the expression of the branch that evaluates them).
+	Stmts []ast.Node
+	// Succs are the blocks control may reach next. The Exit block has
+	// none.
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers are the function's defer statements in source order. They
+	// execute at every function exit; path-sensitive analyzers append
+	// them (in reverse order) to the Exit block's effects.
+	Defers []*ast.DeferStmt
+}
+
+// BuildCFG constructs the CFG of a function body. A nil body yields a
+// two-block graph (Entry -> Exit) so callers need no special case for
+// bodyless declarations.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{}
+	g := &CFG{}
+	b.graph = g
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	cur := g.Entry
+	if body != nil {
+		cur = b.stmts(cur, body.List)
+	}
+	b.edge(cur, g.Exit)
+	return g
+}
+
+type cfgBuilder struct {
+	graph *CFG
+	// breaks/continues map enclosing loop/switch statements to their
+	// break and continue targets; the empty-label entry tracks the
+	// innermost one.
+	breakTargets    []breakTarget
+	continueTargets []continueTarget
+}
+
+type breakTarget struct {
+	label string // "" entries are shadowed by inner unlabeled targets
+	block *Block
+}
+
+type continueTarget struct {
+	label string
+	block *Block
+}
+
+// deadBlock is the sink for statements after a return/branch: they are
+// unreachable, and we park them in a fresh block with no predecessors
+// so the graph stays well formed without special cases.
+func (b *cfgBuilder) deadBlock() *Block { return b.newBlock() }
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.graph.Blocks)}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block
+// where control ends up.
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, s.Cond)
+		after := b.newBlock()
+		thenEntry := b.newBlock()
+		b.edge(cur, thenEntry)
+		thenExit := b.stmts(thenEntry, s.Body.List)
+		b.edge(thenExit, after)
+		if s.Else != nil {
+			elseEntry := b.newBlock()
+			b.edge(cur, elseEntry)
+			elseExit := b.stmt(elseEntry, s.Else)
+			b.edge(elseExit, after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		label := labelOf(s)
+		b.pushLoop(label, after, post)
+		bodyEntry := b.newBlock()
+		b.edge(head, bodyEntry)
+		bodyExit := b.stmts(bodyEntry, s.Body.List)
+		b.popLoop()
+		b.edge(bodyExit, post)
+		if s.Post != nil {
+			post.Stmts = append(post.Stmts, s.Post)
+		}
+		b.edge(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.Stmts = append(head.Stmts, s.X)
+		after := b.newBlock()
+		b.edge(head, after) // range may be empty
+		label := labelOf(s)
+		b.pushLoop(label, after, head)
+		bodyEntry := b.newBlock()
+		b.edge(head, bodyEntry)
+		bodyExit := b.stmts(bodyEntry, s.Body.List)
+		b.popLoop()
+		b.edge(bodyExit, head)
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Stmts = append(cur.Stmts, s.Tag)
+		}
+		return b.switchBody(cur, s, s.Body.List)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.Stmts = append(cur.Stmts, s.Assign)
+		return b.switchBody(cur, s, s.Body.List)
+
+	case *ast.SelectStmt:
+		// Every comm clause is a successor; the comm statement itself
+		// (send or receive) is the first statement of its case block,
+		// so blocking-call analyzers see it inside the branch.
+		after := b.newBlock()
+		label := labelOf(s)
+		b.pushBreak(label, after)
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CommClause)
+			caseEntry := b.newBlock()
+			b.edge(cur, caseEntry)
+			if cc.Comm != nil {
+				caseEntry = b.stmt(caseEntry, cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			caseExit := b.stmts(caseEntry, cc.Body)
+			b.edge(caseExit, after)
+		}
+		b.popBreak()
+		if len(s.Body.List) == 0 || !hasDefault {
+			// select{} or no-default select blocks forever until a comm
+			// fires; the comm edges above already model that. Nothing
+			// extra needed — but keep the variable used.
+			_ = hasDefault
+		}
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		b.edge(cur, b.graph.Exit)
+		return b.deadBlock()
+
+	case *ast.BranchStmt:
+		cur.Stmts = append(cur.Stmts, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findBreak(label); t != nil {
+				b.edge(cur, t)
+			}
+			return b.deadBlock()
+		case "continue":
+			if t := b.findContinue(label); t != nil {
+				b.edge(cur, t)
+			}
+			return b.deadBlock()
+		case "goto":
+			// Rare in this tree; treated as opaque fallthrough so the
+			// analysis stays sound-ish without label resolution.
+			return cur
+		case "fallthrough":
+			// Handled by switchBody's fallthrough edge; as a statement
+			// it terminates the case body.
+			return cur
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		// The labeled statement itself carries the label; loop/switch
+		// cases read it via labelOf.
+		return b.stmt(cur, s.Stmt)
+
+	case *ast.DeferStmt:
+		b.graph.Defers = append(b.graph.Defers, s)
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+
+	case *ast.GoStmt:
+		// The spawn itself is an effect in this function; the spawned
+		// body is not part of this CFG.
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+
+	default:
+		cur.Stmts = append(cur.Stmts, s)
+		return cur
+	}
+}
+
+// switchBody wires the case clauses of a switch/type-switch. s is the
+// enclosing statement (for label lookup).
+func (b *cfgBuilder) switchBody(cur *Block, s ast.Stmt, clauses []ast.Stmt) *Block {
+	after := b.newBlock()
+	label := labelOf(s)
+	b.pushBreak(label, after)
+	hasDefault := false
+	var caseExits []*Block
+	var caseEntries []*Block
+	for _, cc := range clauses {
+		cc := cc.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseEntry := b.newBlock()
+		caseEntries = append(caseEntries, caseEntry)
+		b.edge(cur, caseEntry)
+		for _, e := range cc.List {
+			caseEntry.Stmts = append(caseEntry.Stmts, e)
+		}
+		caseExit := b.stmts(caseEntry, cc.Body)
+		fallsThrough := false
+		if n := len(cc.Body); n > 0 {
+			if br, ok := cc.Body[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				fallsThrough = true
+			}
+		}
+		if fallsThrough {
+			// Edge to the next case's entry is added after the loop,
+			// once that entry exists; record by leaving caseExit in
+			// caseExits and patching below.
+			caseExits = append(caseExits, caseExit)
+			continue
+		}
+		b.edge(caseExit, after)
+		caseExits = append(caseExits, nil)
+	}
+	// Patch fallthrough edges now that all entries exist.
+	for i, exit := range caseExits {
+		if exit == nil {
+			continue
+		}
+		if i+1 < len(caseEntries) {
+			b.edge(exit, caseEntries[i+1])
+		} else {
+			b.edge(exit, after)
+		}
+	}
+	b.popBreak()
+	if !hasDefault {
+		// No default: the switch may match nothing and fall out.
+		b.edge(cur, after)
+	}
+	return after
+}
+
+// labelOf returns the label naming s, if its parent is a LabeledStmt.
+// The builder rewrites LabeledStmt by recursing into its child, so the
+// label must be captured before that; we approximate by storing labels
+// on a side map — but since builds are single-pass and LabeledStmt
+// recursion happens in stmt, we instead thread it via this helper which
+// inspects nothing (labels on loops are handled through the unlabeled
+// stack in this tree; the repo has no labeled break/continue targets
+// across loop levels). Kept as a seam for future precision.
+func labelOf(ast.Stmt) string { return "" }
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breakTargets = append(b.breakTargets, breakTarget{label: label, block: brk})
+	b.continueTargets = append(b.continueTargets, continueTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+	b.continueTargets = b.continueTargets[:len(b.continueTargets)-1]
+}
+
+func (b *cfgBuilder) pushBreak(label string, brk *Block) {
+	b.breakTargets = append(b.breakTargets, breakTarget{label: label, block: brk})
+}
+
+func (b *cfgBuilder) popBreak() {
+	b.breakTargets = b.breakTargets[:len(b.breakTargets)-1]
+}
+
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.breakTargets) - 1; i >= 0; i-- {
+		t := b.breakTargets[i]
+		if label == "" || t.label == label {
+			return t.block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.continueTargets) - 1; i >= 0; i-- {
+		t := b.continueTargets[i]
+		if label == "" || t.label == label {
+			return t.block
+		}
+	}
+	return nil
+}
+
+// Reachable returns the blocks reachable from the entry, in a stable
+// order (by block index). Dead blocks parked after return/branch
+// statements are excluded, so dataflow fixpoints iterate only live
+// code.
+func (g *CFG) Reachable() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var stack []*Block
+	stack = append(stack, g.Entry)
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var out []*Block
+	for _, blk := range g.Blocks {
+		if seen[blk.Index] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// Preds computes the predecessor lists of every block (indexed like
+// g.Blocks). Backward analyses (closeall's "reaches Close on every
+// path") need them; the builder stores only successor edges.
+func (g *CFG) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk)
+		}
+	}
+	return preds
+}

@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function in src")
+	return nil
+}
+
+// pathsToExit counts the distinct acyclic paths from Entry to Exit.
+func pathsToExit(g *CFG) int {
+	var count int
+	onPath := make([]bool, len(g.Blocks))
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if b == g.Exit {
+			count++
+			return
+		}
+		if onPath[b.Index] {
+			return
+		}
+		onPath[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		onPath[b.Index] = false
+	}
+	walk(g.Entry)
+	return count
+}
+
+// hasCycle reports whether any reachable block can reach itself.
+func hasCycle(g *CFG) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Blocks))
+	var visit func(b *Block) bool
+	visit = func(b *Block) bool {
+		color[b.Index] = gray
+		for _, s := range b.Succs {
+			switch color[s.Index] {
+			case gray:
+				return true
+			case white:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[b.Index] = black
+		return false
+	}
+	return visit(g.Entry)
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := BuildCFG(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatalf("nil body must still produce entry/exit")
+	}
+	if pathsToExit(g) != 1 {
+		t.Fatalf("nil body: want 1 path, got %d", pathsToExit(g))
+	}
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() { x := 1; y := 2; _ = x + y }`))
+	if got := pathsToExit(g); got != 1 {
+		t.Fatalf("straight line: want 1 path, got %d", got)
+	}
+	if hasCycle(g) {
+		t.Fatalf("straight line must be acyclic")
+	}
+}
+
+func TestCFGIfElse(t *testing.T) {
+	// if with else: exactly two paths, no fallthrough edge around the
+	// branch.
+	g := BuildCFG(parseBody(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	} else {
+		return 2
+	}
+}`))
+	if got := pathsToExit(g); got != 2 {
+		t.Fatalf("if/else with returns: want 2 paths, got %d", got)
+	}
+
+	// if without else: two paths (taken and skipped).
+	g = BuildCFG(parseBody(t, `package p
+func f(c bool) {
+	x := 0
+	if c {
+		x = 1
+	}
+	_ = x
+}`))
+	if got := pathsToExit(g); got != 2 {
+		t.Fatalf("if without else: want 2 paths, got %d", got)
+	}
+}
+
+func TestCFGIfEarlyReturn(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 0
+}`))
+	if got := pathsToExit(g); got != 2 {
+		t.Fatalf("early return: want 2 paths, got %d", got)
+	}
+	// Exit must have no successors.
+	if len(g.Exit.Succs) != 0 {
+		t.Fatalf("exit block must be terminal")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	for i := 0; i < 10; i++ {
+		_ = i
+	}
+}`))
+	if !hasCycle(g) {
+		t.Fatalf("for loop must produce a back edge")
+	}
+	// The loop may run zero times, so there is a path around the body.
+	if got := pathsToExit(g); got < 1 {
+		t.Fatalf("for loop: want >=1 acyclic path, got %d", got)
+	}
+}
+
+func TestCFGForBreakContinue(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 100 {
+			break
+		}
+		total += x
+	}
+	return total
+}`))
+	if !hasCycle(g) {
+		t.Fatalf("range loop must produce a back edge")
+	}
+	if got := pathsToExit(g); got < 2 {
+		t.Fatalf("break must add an extra exit path; got %d", got)
+	}
+}
+
+func TestCFGInfiniteFor(t *testing.T) {
+	// for {} with no break: no acyclic path reaches Exit.
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	for {
+		step()
+	}
+}
+func step() {}`))
+	if got := pathsToExit(g); got != 0 {
+		t.Fatalf("infinite loop: want 0 paths to exit, got %d", got)
+	}
+	// With a conditional break, Exit is reachable again.
+	g = BuildCFG(parseBody(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+	}
+}`))
+	if got := pathsToExit(g); got == 0 {
+		t.Fatalf("loop with break: want a path to exit")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	// Switch without default keeps a fall-out edge; with default it
+	// does not (every value matches some case).
+	g := BuildCFG(parseBody(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	case 2:
+		return 20
+	}
+	return 0
+}`))
+	if got := pathsToExit(g); got != 3 {
+		t.Fatalf("switch sans default: want 3 paths (case1, case2, fall-out), got %d", got)
+	}
+
+	g = BuildCFG(parseBody(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 10
+	default:
+		return 0
+	}
+}`))
+	if got := pathsToExit(g); got != 2 {
+		t.Fatalf("switch with default: want 2 paths, got %d", got)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(x int) int {
+	y := 0
+	switch x {
+	case 1:
+		y = 1
+		fallthrough
+	case 2:
+		y += 2
+	default:
+		y = -1
+	}
+	return y
+}`))
+	// Paths: case1->case2->ret, case2->ret, default->ret. The
+	// fallthrough case must NOT edge straight to after.
+	if got := pathsToExit(g); got != 3 {
+		t.Fatalf("fallthrough switch: want 3 paths, got %d", got)
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(v any) int {
+	switch v.(type) {
+	case int:
+		return 1
+	case string:
+		return 2
+	}
+	return 0
+}`))
+	if got := pathsToExit(g); got != 3 {
+		t.Fatalf("type switch sans default: want 3 paths, got %d", got)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	// Select without default: one path per comm clause, no bypass edge
+	// (the select blocks until a comm fires).
+	g := BuildCFG(parseBody(t, `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}`))
+	if got := pathsToExit(g); got != 2 {
+		t.Fatalf("select 2 comms: want 2 paths, got %d", got)
+	}
+
+	// With default: three paths.
+	g = BuildCFG(parseBody(t, `package p
+func f(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+		return 0
+	}
+	return -1
+}`))
+	if got := pathsToExit(g); got < 2 {
+		t.Fatalf("select with default: want >=2 paths, got %d", got)
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	defer cleanup()
+	defer cleanup()
+	work()
+}
+func cleanup() {}
+func work()    {}`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 recorded defers, got %d", len(g.Defers))
+	}
+	// Defers are recorded in source order.
+	if g.Defers[0].Pos() >= g.Defers[1].Pos() {
+		t.Fatalf("defers must be in source order")
+	}
+}
+
+func TestCFGDeferInBranch(t *testing.T) {
+	// A defer inside a conditional still registers on the graph — the
+	// analyzers decide reachability themselves via the block that holds
+	// the DeferStmt.
+	g := BuildCFG(parseBody(t, `package p
+func f(c bool) {
+	if c {
+		defer cleanup()
+	}
+	work()
+}
+func cleanup() {}
+func work()    {}`))
+	if len(g.Defers) != 1 {
+		t.Fatalf("want 1 recorded defer, got %d", len(g.Defers))
+	}
+}
+
+func TestCFGReachableExcludesDeadCode(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() int {
+	return 1
+	return 2 //nolint (unreachable on purpose)
+}`))
+	reach := g.Reachable()
+	total := len(g.Blocks)
+	if len(reach) >= total {
+		t.Fatalf("dead block after return must be excluded: reachable %d of %d", len(reach), total)
+	}
+}
+
+func TestCFGPreds(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f(c bool) {
+	x := 0
+	if c {
+		x = 1
+	}
+	_ = x
+}`))
+	preds := g.Preds()
+	// The join block after the if must have two predecessors.
+	joinFound := false
+	for _, blk := range g.Reachable() {
+		if len(preds[blk.Index]) >= 2 {
+			joinFound = true
+		}
+	}
+	if !joinFound {
+		t.Fatalf("if-join must have 2 predecessors")
+	}
+}
+
+func TestCFGGoStmtStaysInBlock(t *testing.T) {
+	g := BuildCFG(parseBody(t, `package p
+func f() {
+	go work()
+	work()
+}
+func work() {}`))
+	found := false
+	for _, blk := range g.Reachable() {
+		for _, n := range blk.Stmts {
+			if _, ok := n.(*ast.GoStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("go statement must appear as a block effect")
+	}
+	if got := pathsToExit(g); got != 1 {
+		t.Fatalf("go stmt must not fork the CFG: want 1 path, got %d", got)
+	}
+}

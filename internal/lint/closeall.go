@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CloseAll requires every value obtained from an opening call —
+// os.Open/OpenFile/Create, an FS.OpenFile-style method whose first
+// result is an io.Closer, net Dial/Listen, http.Client.Do and friends —
+// to reach a Close on every CFG path out of the function, or to escape
+// the function's ownership:
+//
+//   - returned to the caller (the caller now owns it);
+//   - stored into a field, slice, map, or another variable;
+//   - placed in a composite literal or passed as a bare argument;
+//   - sent on a channel.
+//
+// A `return` that mentions the open's error variable also discharges
+// the obligation (the standard `if err != nil { return ... err }`
+// propagates before the handle exists). For http responses the tracked
+// obligation is resp.Body.Close(), which the same rule covers: a Close
+// anywhere on a selector chain rooted at the tracked variable counts.
+//
+// This is the store's segment-rotation bug class: an early return
+// between OpenFile and the Close/assignment leaks a descriptor per
+// rotation, and a daemon rotates forever.
+var CloseAll = &Analyzer{
+	Name: "closeall",
+	Doc:  "opened files/responses/connections must reach Close on every path or escape ownership",
+	Applies: pathIn(
+		"repro/internal/service",
+		"repro/internal/store",
+		"repro/internal/client",
+		"repro/internal/harness",
+		"repro/internal/faultinject",
+	),
+	Run: runCloseAll,
+}
+
+func runCloseAll(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCloseAll(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkCloseAll(pass, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// openSite is one tracked opening call inside a CFG block.
+type openSite struct {
+	block   *Block
+	stmtIdx int
+	pos     token.Pos
+	v       types.Object // the handle variable
+	errv    types.Object // the error result, if assigned to a name
+}
+
+func checkCloseAll(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g := BuildCFG(body)
+	var sites []openSite
+	for _, blk := range g.Reachable() {
+		for i, n := range blk.Stmts {
+			call, lhs := openCallIn(info, n)
+			if call == nil {
+				continue
+			}
+			if lhs == nil {
+				pass.Reportf(call.Pos(), "result of %s is dropped; the handle can never be closed", callName(info, call))
+				continue
+			}
+			v := info.Defs[lhs[0]]
+			if v == nil {
+				v = info.Uses[lhs[0]] // plain = assignment to an existing var
+			}
+			if v == nil {
+				continue
+			}
+			var errv types.Object
+			if len(lhs) > 1 && lhs[1] != nil {
+				errv = info.Defs[lhs[1]]
+				if errv == nil {
+					errv = info.Uses[lhs[1]]
+				}
+			}
+			sites = append(sites, openSite{block: blk, stmtIdx: i, pos: call.Pos(), v: v, errv: errv})
+		}
+	}
+	if len(sites) == 0 {
+		return
+	}
+	parents := parentMap(body)
+	for _, site := range sites {
+		// A deferred release covers every exit path.
+		deferred := false
+		for _, d := range g.Defers {
+			if nodeReleases(info, parents, d, site.v, site.errv) {
+				deferred = true
+				break
+			}
+		}
+		if deferred {
+			continue
+		}
+		if blk, ok := leakPath(info, parents, g, site); ok {
+			_ = blk
+			pass.Reportf(site.pos, "%s may reach a return without Close or ownership escape on some path (close it, defer the close, or hand it off)",
+				objName(site.v))
+		}
+	}
+}
+
+// leakPath reports whether some path from the open site reaches Exit
+// without releasing v.
+func leakPath(info *types.Info, parents map[ast.Node]ast.Node, g *CFG, site openSite) (*Block, bool) {
+	visited := make([]bool, len(g.Blocks))
+	var walk func(blk *Block, from int) bool
+	walk = func(blk *Block, from int) bool {
+		for i := from; i < len(blk.Stmts); i++ {
+			if nodeReleases(info, parents, blk.Stmts[i], site.v, site.errv) {
+				return false
+			}
+		}
+		if blk == g.Exit {
+			return true
+		}
+		for _, succ := range blk.Succs {
+			if visited[succ.Index] {
+				continue
+			}
+			visited[succ.Index] = true
+			if walk(succ, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	if walk(site.block, site.stmtIdx+1) {
+		return site.block, true
+	}
+	return nil, false
+}
+
+// openCallIn recognizes a block statement that performs an opening
+// call: an assignment (lhs returned as idents, nil entries for
+// non-ident targets) or a bare expression statement (lhs nil).
+func openCallIn(info *types.Info, n ast.Node) (*ast.CallExpr, []*ast.Ident) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) != 1 {
+			return nil, nil
+		}
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if !ok || !isOpenCall(info, call) {
+			return nil, nil
+		}
+		ids := make([]*ast.Ident, len(n.Lhs))
+		for i, l := range n.Lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				ids[i] = id
+			}
+		}
+		if ids[0] == nil {
+			if fieldTarget(n.Lhs[0]) {
+				return nil, nil // stored straight into a field: escaped
+			}
+			return call, nil // handle assigned to _: dropped
+		}
+		return call, ids
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok && isOpenCall(info, call) {
+			return call, nil
+		}
+	}
+	return nil, nil
+}
+
+func fieldTarget(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// isOpenCall classifies calls that hand the caller a closeable
+// resource.
+func isOpenCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "CreateTemp":
+			return true
+		}
+	case "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return true
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen":
+			return true
+		}
+	}
+	// FS.OpenFile-style methods anywhere: an open-ish name whose first
+	// result is a Closer.
+	switch name {
+	case "Open", "OpenFile", "Create":
+		sig := fn.Type().(*types.Signature)
+		if res := sig.Results(); res.Len() >= 1 && isCloserType(res.At(0).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// closerIface is interface{ Close() error }, built by hand so the
+// analyzer needs no dependency on loading package io.
+var closerIface = func() *types.Interface {
+	sig := types.NewSignatureType(nil, nil, nil, types.NewTuple(),
+		types.NewTuple(types.NewVar(token.NoPos, nil, "", types.Universe.Lookup("error").Type())), false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Close", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func isCloserType(t types.Type) bool {
+	return types.Implements(t, closerIface) || types.Implements(types.NewPointer(t), closerIface)
+}
+
+// nodeReleases reports whether node n discharges the close obligation
+// for v: a Close on a selector chain rooted at v, an ownership escape
+// (bare use outside a selector chain), or a return mentioning the
+// associated error variable.
+func nodeReleases(info *types.Info, parents map[ast.Node]ast.Node, n ast.Node, v, errv types.Object) bool {
+	released := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if released {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if obj == errv && insideReturn(parents, id) {
+			released = true
+			return false
+		}
+		if obj != v {
+			return true
+		}
+		// Climb the selector chain rooted at this use of v.
+		top := ast.Node(id)
+		for {
+			sel, ok := parents[top].(*ast.SelectorExpr)
+			if !ok || sel.X != top {
+				break
+			}
+			top = sel
+		}
+		if top == ast.Node(id) {
+			// Bare use of v outside a selector: return operand, call
+			// argument, composite literal, assignment RHS, channel
+			// send — ownership escapes.
+			released = true
+			return false
+		}
+		sel := top.(*ast.SelectorExpr)
+		if call, ok := parents[sel].(*ast.CallExpr); ok && call.Fun == sel && sel.Sel.Name == "Close" {
+			released = true // v.Close(), v.Body.Close(), ...
+			return false
+		}
+		return true
+	})
+	return released
+}
+
+// insideReturn reports whether the node sits inside a ReturnStmt.
+func insideReturn(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// parentMap records each node's syntactic parent within body.
+func parentMap(body *ast.BlockStmt) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil {
+		return fn.Name()
+	}
+	return "open call"
+}
+
+func objName(o types.Object) string {
+	if o == nil {
+		return "opened handle"
+	}
+	return o.Name()
+}

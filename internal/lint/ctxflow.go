@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context threading on the request path. In the
+// serving packages a context carries the request's lifetime: dropping
+// it (or minting a fresh root with context.Background()/TODO()) detaches
+// work from the client that asked for it, so a disconnected client — or
+// a draining server — can no longer reclaim the worker slot its request
+// occupies. Two rules:
+//
+//   - context.Background()/context.TODO() may not be called outside
+//     main/init: request-path code must thread the context it was
+//     handed. Deliberate lifetime roots (the server's serving-lifetime
+//     context) carry a justified //lint:allow.
+//   - a context.Context parameter must be used: a named ctx that no
+//     statement reads, or an anonymous `_ context.Context`/bare
+//     `context.Context` parameter, silently discards the caller's
+//     cancellation.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "request-path code must thread its context: no Background()/TODO() outside main/init, no dropped ctx parameters",
+	Applies: pathIn(
+		"repro/internal/service",
+		"repro/internal/client",
+		"repro/internal/harness",
+	),
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			exempt := fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init")
+			if !exempt {
+				checkNoFreshRoots(pass, fd.Body)
+			}
+			checkCtxParamUsed(pass, fd.Type, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkCtxParamUsed(pass, fl.Type, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkNoFreshRoots flags context.Background()/TODO() calls.
+func checkNoFreshRoots(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isPkgFunc(pass.Pkg.Info, call, "context", "Background"):
+			pass.Reportf(call.Pos(), "context.Background() mints a fresh lifetime root on the request path; thread the caller's context instead")
+		case isPkgFunc(pass.Pkg.Info, call, "context", "TODO"):
+			pass.Reportf(call.Pos(), "context.TODO() on the request path; thread the caller's context instead")
+		}
+		return true
+	})
+}
+
+// checkCtxParamUsed flags context.Context parameters the body never
+// reads.
+func checkCtxParamUsed(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	if ft.Params == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, field := range ft.Params.List {
+		if !isContextType(info, field.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "context.Context parameter is unnamed and therefore dropped; the caller's cancellation cannot reach this body")
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "context.Context parameter is discarded with _; the caller's cancellation cannot reach this body")
+				continue
+			}
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !identUsed(info, body, obj) {
+				pass.Reportf(name.Pos(), "context.Context parameter %s is never used; pass it to the blocking work or drop the parameter honestly", name.Name)
+			}
+		}
+	}
+}
+
+// isContextType reports whether the type expression is
+// context.Context.
+func isContextType(info *types.Info, expr ast.Expr) bool {
+	t := info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// identUsed reports whether any identifier in body resolves to obj.
+func identUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

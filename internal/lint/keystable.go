@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// KeyStable is a taint-style check protecting the content address. The
+// serving layer's north star is "byte-identical answer from anyone",
+// and it rests on service.cacheKey: a sha256 over a canonical encoding
+// of the normalized request. Anything order-unstable or run-dependent
+// flowing into that hash — a map iteration, a wall-clock read, a
+// pointer rendered with %p — would silently split one logical result
+// across many keys: the cache still "works", hit rates just decay and
+// byte-identity across replicas is gone. No test catches it, because
+// every individual process stays self-consistent.
+//
+// Within each function of the service package, the analyzer seeds
+// taint at:
+//
+//   - time.Now() results;
+//   - loop variables of a `range` over a map (iteration order);
+//   - fmt.Sprintf/Sprint results whose format contains %p (pointer
+//     identity differs per process).
+//
+// Taint propagates through assignments to a fixpoint; the sinks are
+// arguments to crypto/sha256 functions and Write calls on hash states.
+var KeyStable = &Analyzer{
+	Name:    "keystable",
+	Doc:     "nothing order-unstable (map ranges, time.Now, %p) may flow into the sha256 content address",
+	Applies: pathIn("repro/internal/service"),
+	Run:     runKeyStable,
+}
+
+func runKeyStable(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKeyStable(pass, fd.Body)
+		}
+	}
+}
+
+func checkKeyStable(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Nothing to do unless the body feeds a hash.
+	var sinkArgs []ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isHashSink(info, call) {
+			sinkArgs = append(sinkArgs, call.Args...)
+		}
+		return true
+	})
+	if len(sinkArgs) == 0 {
+		return
+	}
+
+	tainted := map[types.Object]bool{}
+	// Seed: map-range loop variables.
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(rs.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				for _, e := range []ast.Expr{rs.Key, rs.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							tainted[obj] = true
+						} else if obj := info.Uses[id]; obj != nil {
+							tainted[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Propagate through assignments until stable. An expression is
+	// tainted if it mentions a tainted object or contains a direct
+	// source call (time.Now, %p formatting).
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			dirty := false
+			for _, rhs := range as.Rhs {
+				if exprTainted(info, rhs, tainted) {
+					dirty = true
+				}
+			}
+			if !dirty {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					obj := info.Defs[id]
+					if obj == nil {
+						obj = info.Uses[id]
+					}
+					if obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, arg := range sinkArgs {
+		if exprTainted(info, arg, tainted) {
+			pass.Reportf(arg.Pos(),
+				"order-unstable value flows into the content-address hash; map order, wall clock, and %%p differ run to run, splitting one logical result across cache keys")
+		}
+	}
+}
+
+// isHashSink recognizes calls that feed bytes into a content hash:
+// crypto/sha256 package functions and Write on a hash state.
+func isHashSink(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if strings.HasPrefix(path, "crypto/sha") && len(call.Args) > 0 {
+		return true
+	}
+	if fn.Name() == "Write" && (path == "hash" || strings.HasPrefix(path, "crypto/")) {
+		return true
+	}
+	return false
+}
+
+// exprTainted reports whether e mentions a tainted object or contains
+// a direct instability source.
+func exprTainted(info *types.Info, e ast.Expr, tainted map[types.Object]bool) bool {
+	dirty := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if dirty {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && tainted[obj] {
+				dirty = true
+			}
+		case *ast.CallExpr:
+			if isInstabilitySource(info, n) {
+				dirty = true
+				return false
+			}
+		}
+		return true
+	})
+	return dirty
+}
+
+// isInstabilitySource recognizes calls whose result differs run to
+// run: time.Now and fmt formatting with %p.
+func isInstabilitySource(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgFunc(info, call, "time", "Now") {
+		return true
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	for _, arg := range call.Args {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			continue
+		}
+		if strings.Contains(constant.StringVal(tv.Value), "%p") {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,25 @@
 //     (*Stats).Add and referenced by an invariant check, so a new
 //     counter cannot silently escape aggregation or CheckInvariants.
 //
+// The v2 suite adds flow-aware analyzers built on an intraprocedural
+// control-flow graph (BuildCFG) and a may-hold-lock dataflow pass,
+// watching the serving stack's concurrency and resource discipline:
+//
+//   - lockscope: no blocking operation (disk IO, channel communication
+//     not guarded by select-with-default, time.Sleep, Wait) on a path
+//     where a mutex may be held; no nested acquisition; the store's
+//     *Locked naming convention is enforced in both directions.
+//   - goroutinelife: every go statement's body carries a shutdown tie
+//     (a WaitGroup.Done, a channel receive, or a range over a
+//     channel), so drain-and-Close terminates.
+//   - ctxflow: request-path code threads its context.Context — no
+//     fresh Background()/TODO() roots outside main, no dropped or
+//     ignored ctx parameters.
+//   - closeall: a handle from an open-like call reaches Close on every
+//     control-flow path or visibly escapes to a new owner.
+//   - keystable: nothing order-unstable (map iteration, time.Now, %p)
+//     flows into the sha256 content address that keys the result cache.
+//
 // A finding on one line can be suppressed with a justification:
 //
 //	//lint:allow <analyzer> <reason>
@@ -104,6 +123,11 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		Exhaustive,
 		StatsCoverage,
+		LockScope,
+		GoroutineLife,
+		CtxFlow,
+		CloseAll,
+		KeyStable,
 	}
 }
 

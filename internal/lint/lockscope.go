@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockScope is the may-hold-lock analyzer: no blocking call — file IO,
+// net/http, channel operations, simulation runs — may happen on a path
+// where a sync.Mutex/RWMutex guarding store or service state is held.
+//
+// It encodes the PR 6 Store.Get lesson as a rule: a disk read under the
+// store mutex turns one slow disk operation into head-of-line blocking
+// for every concurrent Get and Put. The fix there (read outside the
+// lock, re-check under relock) is the pattern this analyzer forces
+// everywhere.
+//
+// The analysis is an intraprocedural forward may-analysis over the CFG
+// (cfg.go): the lattice element is the set of lock expressions that MAY
+// be held at a program point ("s.mu", rendered from the receiver of a
+// Lock call); join is set union; x.Lock()/x.RLock() adds, x.Unlock()/
+// x.RUnlock() removes, and `defer x.Unlock()` keeps the lock held to
+// function exit (the defer runs after everything else). Three rules
+// fire on the stabilized states:
+//
+//   - a blocking call while any lock may be held;
+//   - acquiring a second lock while one is already held (lock-order
+//     deadlocks need only two);
+//   - calling a *Locked-suffixed helper without holding any lock, from
+//     a function not itself *Locked (the suffix is this repo's
+//     caller-holds-lock convention — see internal/store).
+//
+// Calls to *Locked helpers made WITH a lock held are exempt from the
+// blocking check even when the helper does IO (segment rotation and
+// compaction): the suffix documents that the serialized path is
+// deliberate. Dynamic calls through function-typed fields or parameters
+// are skipped — the analysis cannot see their bodies.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no blocking call (IO, net, channels, simulations) on a path where a mutex may be held",
+	Applies: pathIn(
+		"repro/internal/service",
+		"repro/internal/store",
+		"repro/internal/client",
+		"repro/internal/harness",
+		"repro/internal/faultinject",
+	),
+	Run: runLockScope,
+}
+
+// blockingStdlibPkgs are packages whose calls can wait on the outside
+// world: disks, sockets, timers.
+var blockingStdlibPkgs = map[string]bool{
+	"os":       true,
+	"io":       true,
+	"bufio":    true,
+	"net":      true,
+	"net/http": true,
+}
+
+// blockingRepoPkgs are module packages whose entry points run
+// simulations or touch the disk; calling into them from another package
+// while holding a lock serializes unrelated requests behind them.
+var blockingRepoPkgs = map[string]bool{
+	"repro/internal/sim":         true,
+	"repro/internal/sched":       true,
+	"repro/internal/experiments": true,
+	"repro/internal/harness":     true,
+	"repro/internal/workload":    true,
+	"repro/internal/store":       true,
+}
+
+func runLockScope(pass *Pass) {
+	summaries := blockingSummaries(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockFlow(pass, summaries, fd.Name.Name, fd.Body)
+			// Function literals get their own flow analysis: a closure
+			// may lock and block all by itself (goroutine bodies,
+			// handler helpers). Locks held by the enclosing function are
+			// not propagated in — the literal may run on another
+			// goroutine, where they are not held.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockFlow(pass, summaries, fd.Name.Name+" literal", fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockSet is the may-hold set, keyed by the rendered lock expression.
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s lockSet) equal(o lockSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s lockSet) names() string {
+	var ks []string
+	for k := range s {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ", ")
+}
+
+// checkLockFlow runs the may-hold-lock fixpoint over one body and
+// reports violations on the stabilized states.
+func checkLockFlow(pass *Pass, summaries map[*types.Func]bool, fname string, body *ast.BlockStmt) {
+	g := BuildCFG(body)
+	nonBlockingComm := selectDefaultComms(body)
+	blocks := g.Reachable()
+
+	in := make([]lockSet, len(g.Blocks))
+	in[g.Entry.Index] = lockSet{}
+	// Iterate to fixpoint: block order is stable (index order), and the
+	// lattice is finite (locks mentioned in the body), so this
+	// terminates quickly.
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range blocks {
+			if in[blk.Index] == nil {
+				continue
+			}
+			out := in[blk.Index].clone()
+			for _, n := range blk.Stmts {
+				applyLockOps(pass, n, out, nil, nonBlockingComm, summaries, fname)
+			}
+			for _, succ := range blk.Succs {
+				if in[succ.Index] == nil {
+					in[succ.Index] = out.clone()
+					changed = true
+					continue
+				}
+				for k := range out {
+					if !in[succ.Index][k] {
+						in[succ.Index][k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Reporting pass: replay each block once from its stabilized entry
+	// state. reported dedupes across blocks shared by joins.
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+	for _, blk := range blocks {
+		if in[blk.Index] == nil {
+			continue
+		}
+		state := in[blk.Index].clone()
+		for _, n := range blk.Stmts {
+			applyLockOps(pass, n, state, report, nonBlockingComm, summaries, fname)
+		}
+	}
+}
+
+// applyLockOps walks one CFG node in source order, mutating the lock
+// set and (when report != nil) reporting violations.
+func applyLockOps(pass *Pass, node ast.Node, state lockSet, report func(token.Pos, string, ...any), nonBlockingComm map[token.Pos]bool, summaries map[*types.Func]bool, fname string) {
+	info := pass.Pkg.Info
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately with its own (empty) lock set
+		case *ast.DeferStmt:
+			// A deferred unlock keeps the lock held for the rest of the
+			// function; other deferred calls run at exit, outside this
+			// per-statement replay. Either way the deferred call is not
+			// an inline effect.
+			return false
+		case *ast.SendStmt:
+			if len(state) > 0 && report != nil && !nonBlockingComm[n.Pos()] {
+				report(n.Pos(), "channel send while holding %s; a full channel parks every other user of the lock", state.names())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(state) > 0 && report != nil && !nonBlockingComm[n.Pos()] {
+				report(n.Pos(), "channel receive while holding %s; an empty channel parks every other user of the lock", state.names())
+			}
+		case *ast.CallExpr:
+			applyCall(pass, info, n, state, report, summaries, fname)
+		}
+		return true
+	})
+}
+
+// applyCall classifies one call: lock op, blocking primitive, or
+// same-package call with a blocking summary.
+func applyCall(pass *Pass, info *types.Info, call *ast.CallExpr, state lockSet, report func(token.Pos, string, ...any), summaries map[*types.Func]bool, fname string) {
+	sel, _ := call.Fun.(*ast.SelectorExpr)
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return // dynamic call (func-typed field, parameter, var): opaque
+	}
+
+	// Mutex operations.
+	if sel != nil && isMutexMethod(fn) {
+		key := types.ExprString(sel.X)
+		switch fn.Name() {
+		case "Lock", "RLock":
+			if len(state) > 0 && !state[key] && report != nil {
+				report(call.Pos(), "acquiring %s while holding %s; nested locks invite lock-order deadlocks", key, state.names())
+			}
+			state[key] = true
+		case "Unlock", "RUnlock":
+			delete(state, key)
+		}
+		return
+	}
+
+	// Same-package calls: *Locked convention, then transitive summary.
+	// Interface methods declared in this package (the store's FS/File)
+	// have no body to summarize — they fall through to the blocking
+	// classification below instead.
+	if fn.Pkg() == pass.Pkg.Types && !interfaceMethod(fn) {
+		if strings.HasSuffix(fn.Name(), "Locked") {
+			if len(state) == 0 && !strings.HasSuffix(fname, "Locked") && report != nil {
+				report(call.Pos(), "call to %s without holding a lock; the *Locked suffix marks caller-holds-lock helpers", fn.Name())
+			}
+			return // with a lock held, the serialized path is deliberate
+		}
+		if len(state) > 0 && summaries[fn] && report != nil {
+			report(call.Pos(), "call to %s (which may block on IO/channels) while holding %s", fn.Name(), state.names())
+		}
+		return
+	}
+
+	if len(state) > 0 && isBlockingCall(pass, fn) && report != nil {
+		report(call.Pos(), "blocking call %s.%s while holding %s (the PR 6 Store.Get rule: do IO outside the lock, re-check state under relock)",
+			calleePkgName(fn), fn.Name(), state.names())
+	}
+}
+
+// calleeFunc resolves a call to its static *types.Func, or nil for
+// dynamic calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isMutexMethod reports whether fn is sync.Mutex/RWMutex
+// Lock/Unlock/RLock/RUnlock.
+func isMutexMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// isBlockingCall classifies cross-package callees that can wait on the
+// outside world.
+func isBlockingCall(pass *Pass, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if path == "time" && fn.Name() == "Sleep" {
+		return true
+	}
+	if path == "sync" && fn.Name() == "Wait" {
+		return true // WaitGroup.Wait, Cond.Wait
+	}
+	if blockingStdlibPkgs[path] {
+		return true
+	}
+	if blockingRepoPkgs[path] && pkg != pass.Pkg.Types {
+		return true
+	}
+	// Methods of the store's FS/File interfaces are disk operations no
+	// matter what implements them (including the fault-injection
+	// wrappers). Matched by declaring package + interface receiver so
+	// fixtures under the same import path exercise the rule too.
+	if strings.HasSuffix(path, "internal/store") && interfaceMethod(fn) {
+		return true
+	}
+	return false
+}
+
+// interfaceMethod reports whether fn is declared on an interface.
+func interfaceMethod(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	return recv != nil && types.IsInterface(recv.Type())
+}
+
+func calleePkgName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return "?"
+	}
+	return fn.Pkg().Name()
+}
+
+// selectDefaultComms collects the positions of comm operations that
+// belong to a `select` with a default clause: those never block (the
+// default fires instead), so they are exempt from the channel rules.
+func selectDefaultComms(body *ast.BlockStmt) map[token.Pos]bool {
+	out := map[token.Pos]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cc := range sel.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			comm := cc.(*ast.CommClause).Comm
+			if comm == nil {
+				continue
+			}
+			ast.Inspect(comm, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SendStmt:
+					out[m.Pos()] = true
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						out[m.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// blockingSummaries computes, per package function, whether its body
+// may block (directly or through same-package calls) — the transitive
+// closure lockscope consults when a locked region calls a sibling.
+func blockingSummaries(pkg *Package) map[*types.Func]bool {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	blocking := map[*types.Func]bool{}
+	calls := map[*types.Func][]*types.Func{}
+	dummy := &Pass{Pkg: pkg} // isBlockingCall needs the package identity only
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				blocking[obj] = true
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					blocking[obj] = true
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(pkg.Info, n)
+				if fn == nil {
+					return true
+				}
+				if fn.Pkg() == pkg.Types && !interfaceMethod(fn) {
+					calls[obj] = append(calls[obj], fn)
+				} else if isBlockingCall(dummy, fn) {
+					blocking[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range decls {
+			if blocking[obj] {
+				continue
+			}
+			for _, callee := range calls[obj] {
+				if blocking[callee] {
+					blocking[obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return blocking
+}

@@ -2,16 +2,39 @@ package lint
 
 // Version identifies the analyzer suite. Bump it when an analyzer's
 // rules change, so a sweep manifest records which ruleset vetted the
-// tree that produced it.
-const Version = "cachelint/1.0"
+// tree that produced it. 2.0 added the flow-aware layer: the CFG
+// builder and the lockscope/goroutinelife/ctxflow/closeall/keystable
+// analyzers.
+const Version = "cachelint/2.0"
 
 // Summary is the result of linting a whole module, in the shape the
-// sweep manifest embeds.
+// sweep manifest embeds and `cachelint -json` prints.
 type Summary struct {
-	Version  string    `json:"version"`
-	Packages int       `json:"packages"`
-	Clean    bool      `json:"clean"`
-	Findings []Finding `json:"findings,omitempty"`
+	Version  string `json:"version"`
+	Packages int    `json:"packages"`
+	Clean    bool   `json:"clean"`
+	// Counts is the per-analyzer finding tally (only analyzers with at
+	// least one finding appear), so a dirty manifest says which rules
+	// are violated without shipping every message.
+	Counts   map[string]int `json:"counts,omitempty"`
+	Findings []Finding      `json:"findings,omitempty"`
+}
+
+// NewSummary assembles the Summary for a finished lint run.
+func NewSummary(packages int, findings []Finding) *Summary {
+	sum := &Summary{
+		Version:  Version,
+		Packages: packages,
+		Clean:    len(findings) == 0,
+		Findings: findings,
+	}
+	if len(findings) > 0 {
+		sum.Counts = make(map[string]int)
+		for _, f := range findings {
+			sum.Counts[f.Analyzer]++
+		}
+	}
+	return sum
 }
 
 // SelfCheck lints the module containing startDir with the full analyzer
@@ -27,11 +50,5 @@ func SelfCheck(startDir string) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	findings := Check(pkgs, Analyzers())
-	return &Summary{
-		Version:  Version,
-		Packages: len(pkgs),
-		Clean:    len(findings) == 0,
-		Findings: findings,
-	}, nil
+	return NewSummary(len(pkgs), Check(pkgs, Analyzers())), nil
 }

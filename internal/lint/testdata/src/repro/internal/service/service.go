@@ -1,0 +1,56 @@
+// Package service is a cachelint fixture for the request-path
+// analyzers: keystable (nothing order-unstable may flow into the
+// content-address hash) and ctxflow (thread the caller's context; no
+// fresh roots, no dropped ctx parameters).
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+type request struct {
+	Kind  string `json:"kind"`
+	Scale int    `json:"scale"`
+}
+
+// GoodKey hashes a canonical encoding of a normalized request: stable
+// run to run, machine to machine.
+func GoodKey(r request) string {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// BadKey lets pointer identity leak into the content address: %p
+// differs per process, so identical requests stop sharing a key.
+func BadKey(r *request) string {
+	tag := fmt.Sprintf("%p", r)
+	payload := []byte(tag)
+	sum := sha256.Sum256(payload) // want keystable
+	return hex.EncodeToString(sum[:])
+}
+
+// BadRoot mints a fresh lifetime root on the request path, detaching
+// the work from the caller that asked for it.
+func BadRoot() error {
+	ctx := context.Background() // want ctxflow
+	return ctx.Err()
+}
+
+// BadDrop accepts a context and ignores it; the caller's cancellation
+// can never reach this body.
+func BadDrop(ctx context.Context, n int) int { // want ctxflow
+	return n * 2
+}
+
+// GoodThread passes its context on to the work.
+func GoodThread(ctx context.Context) error {
+	return ctx.Err()
+}

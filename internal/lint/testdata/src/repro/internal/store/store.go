@@ -1,0 +1,143 @@
+// Package store is a cachelint fixture for the flow-aware analyzers:
+// lockscope (blocking calls under a mutex, nested locks, the *Locked
+// caller-holds-lock convention) and closeall (handles must reach Close
+// on every path or escape ownership). The import path matches the real
+// store package, so the local FS/File interfaces below classify as
+// disk operations exactly like the real ones.
+package store
+
+import (
+	"io"
+	"sync"
+)
+
+// File mirrors the real store's file handle surface.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS mirrors the real store's filesystem surface.
+type FS interface {
+	OpenFile(name string) (File, error)
+}
+
+type box struct {
+	mu sync.Mutex
+	fs FS
+	f  File
+	n  int
+}
+
+// BadFlush holds the mutex across an fsync: one slow disk operation
+// becomes head-of-line blocking for every other method.
+func (b *box) BadFlush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.f.Sync() // want lockscope
+}
+
+// GoodFlush captures the handle under the lock and syncs outside it.
+func (b *box) GoodFlush() error {
+	b.mu.Lock()
+	f := b.f
+	b.mu.Unlock()
+	return f.Sync()
+}
+
+type pair struct{ a, b sync.Mutex }
+
+// BadNested acquires a second lock while holding the first.
+func (p *pair) BadNested() {
+	p.a.Lock()
+	p.b.Lock() // want lockscope
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (b *box) countLocked() int { return b.n }
+
+// BadDiscipline calls a *Locked helper without holding any lock.
+func (b *box) BadDiscipline() int {
+	return b.countLocked() // want lockscope
+}
+
+// GoodDiscipline holds the lock its helper's suffix demands.
+func (b *box) GoodDiscipline() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.countLocked()
+}
+
+// BadSend parks on a channel while holding the mutex.
+func (b *box) BadSend(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch <- b.n // want lockscope
+}
+
+// GoodSend only touches the channel when the select cannot block.
+func (b *box) GoodSend(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case ch <- b.n:
+	default:
+	}
+}
+
+// Leaky loses the handle on the early-return path.
+func Leaky(fs FS, skip bool) (File, error) {
+	f, err := fs.OpenFile("seg") // want closeall
+	if err != nil {
+		return nil, err
+	}
+	if skip {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// Tidy defers the close, covering every exit path.
+func Tidy(fs FS) error {
+	f, err := fs.OpenFile("seg")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, werr := f.Write([]byte("x"))
+	return werr
+}
+
+// Adopt hands ownership to a field; the box closes it later.
+func (b *box) Adopt(fs FS) error {
+	f, err := fs.OpenFile("seg")
+	if err != nil {
+		return err
+	}
+	b.f = f
+	return nil
+}
+
+// Fire spawns a goroutine with no shutdown tie: it only sends, so an
+// abandoned receiver parks it forever.
+func Fire(done chan struct{}) {
+	go func() { // want goroutinelife
+		done <- struct{}{}
+	}()
+}
+
+// Pool is the tied worker pattern: Done for the spawner's Wait, range
+// over the feed channel for the exit signal.
+func Pool(jobs chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range jobs {
+			_ = jobs
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// TestServerLifecycleLeaksNoGoroutines is the regression companion to
+// the goroutinelife analyzer: every goroutine the serving path spawns —
+// workers, coalesced followers, store sweeps — must be gone after
+// drain and Close. It runs a full lifecycle (start, concurrent load
+// including coalesced duplicates, drain, close) and then requires the
+// goroutine count to settle back to its pre-server baseline; on failure
+// it dumps all stacks so the leaked goroutine is named, not guessed.
+func TestServerLifecycleLeaksNoGoroutines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifecycle leak check is not a -short test")
+	}
+
+	// Let goroutines from earlier tests in the package finish first, so
+	// their exits are not misread as this test's leaks.
+	settle(t, runtime.NumGoroutine(), 2*time.Second)
+	baseline := runtime.NumGoroutine()
+
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Sync: store.SyncNever})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	s, ts := newTestServer(t, Options{Workers: 2, Store: st}, func(req SweepRequest) (string, error) {
+		time.Sleep(5 * time.Millisecond)
+		return "table for " + req.Experiment, nil
+	})
+
+	// Load phase: distinct keys to occupy workers, plus duplicates so
+	// the coalescer parks followers on leaders.
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"experiment":"fig%d"}`, i%4)
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				return // drain-time refusals are fine; leaks are not
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	s.BeginDrain()
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	ts.Close()
+
+	if !settle(t, baseline, 5*time.Second) {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+			baseline, runtime.NumGoroutine(), buf[:n])
+	}
+}
+
+// settle polls until the goroutine count is at or below target (plus a
+// little slack for the runtime's own helpers) or the deadline passes.
+func settle(t *testing.T, target int, wait time.Duration) bool {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(wait)
+	for {
+		runtime.GC() // finalizers can hold the last reference to a goroutine
+		if runtime.NumGoroutine() <= target+slack {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

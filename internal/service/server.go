@@ -126,6 +126,7 @@ func New(o Options) (*Server, error) {
 		return nil, err
 	}
 	o = o.withDefaults()
+	//lint:allow ctxflow deliberate lifetime root: results outlive any one request (coalesced followers, the cache), so simulations run under the serving lifetime; Abort cancels it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:       o,
@@ -268,6 +269,7 @@ func (s *Server) defaultRunSim(req SimRequest) (report.Report, error) {
 // coalesced followers and future cache hits want the result even if the
 // first client hangs up.
 func (s *Server) guarded(id string, compute func() ([]byte, error)) ([]byte, error) {
+	//lint:allow ctxflow the simulator is non-preemptible, so compute cannot honor cancellation mid-run; the harness abandons the attempt on timeout/abort instead (see harness.attempt)
 	spec := harness.Spec{ID: id, Title: id, Run: func(context.Context) (string, error) {
 		b, err := compute()
 		return string(b), err

@@ -231,7 +231,13 @@ func Open(o Options) (*Store, error) {
 	if err := s.openActive(); err != nil {
 		return nil, err
 	}
+	//lint:allow lockscope single-threaded construction; no goroutine can hold s before Open returns
 	if err := s.enforceMaxBytesLocked(); err != nil {
+		closeErr := s.activeFile.Close()
+		s.activeFile = nil
+		if closeErr != nil {
+			return nil, fmt.Errorf("store: open: %w (and closing active segment: %w)", err, closeErr)
+		}
 		return nil, err
 	}
 	return s, nil
@@ -375,6 +381,7 @@ func (s *Store) openActive() error {
 		return err
 	}
 	s.activeFile = f
+	//lint:allow lockscope single-threaded construction; no goroutine can hold s before Open returns
 	s.syncDirLocked()
 	return nil
 }
@@ -493,6 +500,7 @@ func (s *Store) Put(key string, val []byte) error {
 		}
 		info = s.segs[s.active]
 	}
+	//lint:allow lockscope the append IS the operation the mutex serializes: record framing and index offsets must agree, so the write cannot move outside it
 	if _, werr := s.activeFile.Write(rec); werr != nil {
 		s.putErrors++
 		s.repairActiveTailLocked(info)
@@ -731,40 +739,69 @@ func (s *Store) compactSegmentLocked(id uint64) error {
 	return nil
 }
 
-// Flush fsyncs the active segment regardless of policy.
+// Flush fsyncs the active segment regardless of policy. The fsync runs
+// outside the store mutex — the same head-of-line rule as Get's record
+// reads: an fsync can stall for seconds on a busy disk, and Get/Put
+// must not queue behind it. State is re-checked under relock; losing a
+// race with rotation is benign because rotateLocked syncs the segment
+// it seals.
 func (s *Store) Flush() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return ErrClosed
 	}
-	if err := s.activeFile.Sync(); err != nil {
+	f := s.activeFile
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	err := f.Sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		if s.activeFile != f {
+			// The active segment rotated while we were syncing: the
+			// file we held was sealed (synced and closed) by
+			// rotateLocked, so its bytes are durable regardless of how
+			// our own Sync on the closed handle fared.
+			return nil
+		}
 		s.syncErrors++
 		return fmt.Errorf("store: flush: %w", err)
 	}
-	s.sinceSync = 0
+	if s.activeFile == f {
+		s.sinceSync = 0
+	}
 	return nil
 }
 
 // Close flushes and closes the store. Further operations return
-// ErrClosed (Get degrades to a miss). Close is idempotent.
+// ErrClosed (Get degrades to a miss). Close is idempotent. The final
+// fsync and close run outside the mutex: closed=true already fences
+// every later operation, and a slow last fsync must not block
+// concurrent Gets on their way to degrading into misses.
 func (s *Store) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	if s.activeFile == nil {
+	f := s.activeFile
+	s.activeFile = nil
+	s.mu.Unlock()
+	if f == nil {
 		return nil
 	}
-	if err := s.activeFile.Sync(); err != nil {
+	if err := f.Sync(); err != nil {
+		s.mu.Lock()
 		s.syncErrors++
+		s.mu.Unlock()
 	}
-	if err := s.activeFile.Close(); err != nil {
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("store: close: %w", err)
 	}
-	s.activeFile = nil
 	return nil
 }
 
