@@ -13,10 +13,16 @@ build:
 test:
 	$(GO) test ./...
 
-# bench: run the suite and keep a dated machine-readable log of the
-# results (name -> ns/op + reported metrics) next to the console output.
+# bench: run the suite — including the one-pass screening pair
+# (BenchmarkOnePassGrid vs BenchmarkExactGridConfigByConfig) — and keep
+# a dated machine-readable log of the results (name -> ns/op + reported
+# metrics), stamped with the commit it measured, next to the console
+# output. Gate a change with:
+#   go run ./cmd/benchjson -compare BENCH_<old>.json BENCH_<new>.json
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+	$(GO) test -run='^$$' -bench=. -benchmem . | $(GO) run ./cmd/benchjson \
+		-sha "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+		-o BENCH_$$(date +%Y-%m-%d).json
 
 # lint: the repo-specific cachelint suite (internal/lint): nopanic,
 # errwrap, determinism, exhaustive, statscoverage. Non-zero exit on any

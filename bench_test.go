@@ -161,6 +161,44 @@ func BenchmarkFig10Concurrency(b *testing.B) {
 
 // --- substrate throughput ---
 
+// BenchmarkOnePassGrid measures the one-pass screening engine: every
+// grid point of experiments.ScreeningGrid — the full Fig. 6 L2 matrix
+// plus the L1 curves and both speed-size tables — from a single replay
+// of the paper-calibrated workload. Compare against
+// BenchmarkExactGridConfigByConfig, which earns only the 28 Fig. 6 rows
+// by replaying the same recording once per configuration.
+func BenchmarkOnePassGrid(b *testing.B) {
+	workload.RecordPaperLike(8, 400_000) // record outside the timer
+	var fs *experiments.FastSweepResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs = experiments.FastSweep(benchOpt)
+	}
+	b.StopTimer()
+	if len(fs.Grid) == 0 {
+		b.Fatal("empty grid")
+	}
+	b.ReportMetric(float64(len(fs.Grid)), "configs")
+	b.ReportMetric(float64(fs.Res.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkExactGridConfigByConfig is the one-pass benchmark's exact
+// baseline: the same recording, the same 28 Fig. 6 configurations, one
+// cycle-accurate replay each.
+func BenchmarkExactGridConfigByConfig(b *testing.B) {
+	workload.RecordPaperLike(8, 400_000)
+	var rows []experiments.Fig6Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = experiments.ExactGrid(benchOpt)
+	}
+	b.StopTimer()
+	if len(rows) == 0 {
+		b.Fatal("empty grid")
+	}
+	b.ReportMetric(float64(len(rows)), "configs")
+}
+
 // BenchmarkSimulatorThroughput measures raw trace-replay speed through
 // the base architecture, in simulated instructions per b.N op.
 func BenchmarkSimulatorThroughput(b *testing.B) {

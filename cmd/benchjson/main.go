@@ -7,7 +7,16 @@
 //	go test -bench=. -benchmem | benchjson -o BENCH_2026-08-06.json
 //
 // `make bench` uses it to keep a dated, machine-readable log of the
-// suite's performance next to the human-readable run.
+// suite's performance next to the human-readable run; -sha stamps the
+// log with the commit it measured.
+//
+// With -compare it instead diffs two logs and acts as a regression
+// gate:
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json
+//
+// prints the per-benchmark ns/op deltas and exits nonzero when any
+// benchmark slowed down by more than -threshold percent (default 20).
 package main
 
 import (
@@ -35,6 +44,7 @@ type Log struct {
 	GoArch     string            `json:"goarch,omitempty"`
 	Pkg        string            `json:"pkg,omitempty"`
 	CPU        string            `json:"cpu,omitempty"`
+	GitSHA     string            `json:"git_sha,omitempty"`
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
@@ -47,12 +57,26 @@ func main() {
 
 func run() error {
 	out := flag.String("o", "", "write the JSON log to this file (default stdout only)")
+	sha := flag.String("sha", "", "record this git commit in the log's git_sha field")
+	compare := flag.Bool("compare", false, "compare two logs: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 20, "with -compare, fail when ns/op regresses by more than this percent")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two log files (got %d)", flag.NArg())
+		}
+		if *threshold <= 0 {
+			return fmt.Errorf("-threshold must be > 0 (got %g)", *threshold)
+		}
+		return compareLogs(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+	}
 
 	log, err := parse(os.Stdin, os.Stdout)
 	if err != nil {
 		return err
 	}
+	log.GitSHA = *sha
 	data, err := json.MarshalIndent(log, "", "  ")
 	if err != nil {
 		return fmt.Errorf("encoding log: %w", err)
@@ -140,6 +164,63 @@ func parseBenchLine(line string) (string, Result, bool) {
 		res.Metrics = nil
 	}
 	return name, res, true
+}
+
+// readLog loads one JSON log written by this tool.
+func readLog(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading log: %w", err)
+	}
+	var log Log
+	if err := json.Unmarshal(data, &log); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &log, nil
+}
+
+// compareLogs diffs two logs by ns/op and fails on regressions past the
+// threshold. Benchmarks present on only one side are reported but never
+// fail the gate: adding or retiring a benchmark is not a regression.
+func compareLogs(oldPath, newPath string, threshold float64, w io.Writer) error {
+	oldLog, err := readLog(oldPath)
+	if err != nil {
+		return err
+	}
+	newLog, err := readLog(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	var regressions []string
+	for _, name := range sortedNames(newLog) {
+		nr := newLog.Benchmarks[name]
+		or, ok := oldLog.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %9s\n", name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		if or.NsPerOp == 0 {
+			fmt.Fprintf(w, "%-40s %14.0f %14.0f %9s\n", name, or.NsPerOp, nr.NsPerOp, "n/a")
+			continue
+		}
+		delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%\n", name, or.NsPerOp, nr.NsPerOp, delta)
+		if delta > threshold {
+			regressions = append(regressions, fmt.Sprintf("%s %+.1f%%", name, delta))
+		}
+	}
+	for _, name := range sortedNames(oldLog) {
+		if _, ok := newLog.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s\n", name, oldLog.Benchmarks[name].NsPerOp, "-", "gone")
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%: %s",
+			len(regressions), threshold, strings.Join(regressions, ", "))
+	}
+	fmt.Fprintf(w, "no regressions past %.0f%%\n", threshold)
+	return nil
 }
 
 // sortedNames is kept for tests: the JSON encoder already sorts map

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -51,6 +54,73 @@ func TestParse(t *testing.T) {
 	step := log.Benchmarks["BenchmarkSystemStep"]
 	if step.NsPerOp != 26.96 || step.Metrics != nil {
 		t.Errorf("step = %+v", step)
+	}
+}
+
+// writeLog marshals a Log to a temp file for compare tests.
+func writeLog(t *testing.T, log Log) string {
+	t.Helper()
+	data, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareLogsPassesWithinThreshold(t *testing.T) {
+	oldPath := writeLog(t, Log{Benchmarks: map[string]Result{
+		"BenchmarkA":    {Iterations: 10, NsPerOp: 1000},
+		"BenchmarkB":    {Iterations: 10, NsPerOp: 500},
+		"BenchmarkGone": {Iterations: 1, NsPerOp: 42},
+	}})
+	newPath := writeLog(t, Log{Benchmarks: map[string]Result{
+		"BenchmarkA":   {Iterations: 10, NsPerOp: 1100}, // +10%, under the gate
+		"BenchmarkB":   {Iterations: 10, NsPerOp: 400},  // faster
+		"BenchmarkNew": {Iterations: 1, NsPerOp: 7},
+	}})
+	var out strings.Builder
+	if err := compareLogs(oldPath, newPath, 20, &out); err != nil {
+		t.Fatalf("compare failed within threshold: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"+10.0%", "new", "gone", "no regressions"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareLogsFailsOnRegression(t *testing.T) {
+	oldPath := writeLog(t, Log{Benchmarks: map[string]Result{
+		"BenchmarkA": {Iterations: 10, NsPerOp: 1000},
+	}})
+	newPath := writeLog(t, Log{Benchmarks: map[string]Result{
+		"BenchmarkA": {Iterations: 10, NsPerOp: 1300}, // +30%
+	}})
+	var out strings.Builder
+	err := compareLogs(oldPath, newPath, 20, &out)
+	if err == nil {
+		t.Fatalf("compare passed a 30%% regression:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("error %q does not name the regressed benchmark", err)
+	}
+}
+
+func TestCompareLogsBadFile(t *testing.T) {
+	good := writeLog(t, Log{Benchmarks: map[string]Result{}})
+	if err := compareLogs(filepath.Join(t.TempDir(), "missing.json"), good, 20, &strings.Builder{}); err == nil {
+		t.Error("missing old log not reported")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareLogs(good, bad, 20, &strings.Builder{}); err == nil {
+		t.Error("corrupt new log not reported")
 	}
 }
 

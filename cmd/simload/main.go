@@ -60,6 +60,7 @@ func run() error {
 		reqTimeout = flag.Duration("req-timeout", 2*time.Minute, "per-attempt deadline")
 		brkFails   = flag.Int("breaker-threshold", 8, "consecutive failures that open the circuit breaker (-1 disables)")
 		brkCool    = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker fails fast before probing")
+		screening  = flag.Bool("screening", false, "add screening-fidelity requests to the mix for experiments that support them")
 	)
 	flag.Parse()
 	switch {
@@ -78,18 +79,28 @@ func run() error {
 	// The request universe: every registered experiment at each scale,
 	// zipf-ranked so a handful of (experiment, scale) pairs take most of
 	// the traffic.
+	// With -screening, experiments that have a one-pass mode also appear
+	// at screening fidelity — distinct cache keys, so the daemon's cache
+	// holds both populations side by side.
 	var universe [][]byte
 	for scale := 1; scale <= *scales; scale++ {
 		for _, e := range experiments.Registry() {
-			body, err := json.Marshal(service.SweepRequest{
-				Experiment:      e.ID,
-				Scale:           scale,
-				MaxInstructions: *maxInstr,
-			})
-			if err != nil {
-				return fmt.Errorf("marshal request: %w", err)
+			fidelities := []string{""}
+			if *screening && experiments.SupportsScreening(e.ID) {
+				fidelities = append(fidelities, service.FidelityScreening)
 			}
-			universe = append(universe, body)
+			for _, f := range fidelities {
+				body, err := json.Marshal(service.SweepRequest{
+					Experiment:      e.ID,
+					Scale:           scale,
+					MaxInstructions: *maxInstr,
+					Fidelity:        f,
+				})
+				if err != nil {
+					return fmt.Errorf("marshal request: %w", err)
+				}
+				universe = append(universe, body)
+			}
 		}
 	}
 

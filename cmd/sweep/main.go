@@ -55,6 +55,8 @@ func run() (err error) {
 		csvDir    = flag.String("csv", "", "also export figure data as CSV files into this directory")
 		jobs      = flag.Int("jobs", 1, "experiments to run concurrently")
 		par       = flag.Int("par", -1, "configurations to simulate concurrently inside each experiment (-1 = all CPUs, 0 or 1 = serial); reports are byte-identical either way")
+		onepass   = flag.Bool("onepass", false, "screening fidelity: run the one-pass stack-distance analyzer instead of the cycle-accurate simulator")
+		compare   = flag.Bool("compare", false, "run screening and exact fidelity and report their deltas")
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit per experiment attempt (0 = none)")
 		retries   = flag.Int("retries", 0, "retry a failed experiment this many times")
 		keepGoing = flag.Bool("keep-going", false, "run remaining experiments after one fails")
@@ -104,9 +106,16 @@ func run() (err error) {
 		SelfCheck:       *selfCheck,
 		Parallelism:     *par,
 	}
+	if *onepass && *compare {
+		return fmt.Errorf("-onepass and -compare are exclusive: -compare already runs the screening pass")
+	}
 	if *exp == "list" {
 		for _, e := range experiments.Registry() {
-			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+			note := ""
+			if experiments.SupportsScreening(e.ID) {
+				note = "  [screening]"
+			}
+			fmt.Printf("%-16s %s%s\n", e.ID, e.Title, note)
 		}
 		return nil
 	}
@@ -122,14 +131,26 @@ func run() (err error) {
 			return nil
 		}
 	}
+	screening := *onepass || *compare
 	var list []experiments.Experiment
 	if *exp == "all" {
-		list = experiments.Registry()
+		for _, e := range experiments.Registry() {
+			// With a screening fidelity, "all" means every experiment
+			// that has one; the rest have no one-pass analog to run.
+			if screening && !experiments.SupportsScreening(e.ID) {
+				continue
+			}
+			list = append(list, e)
+		}
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
 				return err
+			}
+			if screening && !experiments.SupportsScreening(e.ID) {
+				return fmt.Errorf("experiment %q has no screening mode (screening ids: %s)",
+					e.ID, strings.Join(experiments.ScreeningIDs(), ", "))
 			}
 			list = append(list, e)
 		}
@@ -137,7 +158,13 @@ func run() (err error) {
 
 	specs := make([]harness.Spec, len(list))
 	for i, e := range list {
-		run := e.Run
+		id, run := e.ID, e.Run
+		switch {
+		case *compare:
+			run = func(o experiments.Options) (string, error) { return experiments.ScreeningComparison(id, o) }
+		case *onepass:
+			run = func(o experiments.Options) (string, error) { return experiments.RunScreening(id, o) }
+		}
 		specs[i] = harness.Spec{
 			ID:    e.ID,
 			Title: e.Title,

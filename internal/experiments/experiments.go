@@ -199,6 +199,16 @@ func Registry() []Experiment {
 		{"cost", "Implementation cost: tag memory and write-buffer pins", func(o Options) (string, error) {
 			return FormatCost(CostTable()), nil
 		}},
+		{"fastsweep", "One-pass screening of the L1/L2 design space", func(o Options) (string, error) {
+			// The exact fidelity of this experiment is the screening
+			// pass plus a cycle-accurate cross-check of the best grid
+			// points; the screening fidelity (RunScreening) is the pass
+			// alone.
+			fs := FastSweep(o)
+			return FormatFastSweep(fs) +
+				"\ncross-validation (top 3 by estimated CPI, exact simulator):\n" +
+				FormatValidation(FastSweepValidate(o, fs, 3)), nil
+		}},
 	}
 }
 

@@ -26,6 +26,9 @@ var determinismScope = pathIn(
 	"repro/internal/synth",
 	"repro/internal/experiments",
 	"repro/internal/report",
+	// Screening results are content-address cached like exact ones, so
+	// the stack-distance histograms must be bit-identical run to run.
+	"repro/internal/stackdist",
 	// The serving layer is in scope because its result cache replays
 	// stored bytes as if freshly simulated: any nondeterminism that
 	// leaked into a result body would break the byte-identity the cache

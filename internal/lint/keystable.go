@@ -28,9 +28,12 @@ import (
 // Taint propagates through assignments to a fixpoint; the sinks are
 // arguments to crypto/sha256 functions and Write calls on hash states.
 var KeyStable = &Analyzer{
-	Name:    "keystable",
-	Doc:     "nothing order-unstable (map ranges, time.Now, %p) may flow into the sha256 content address",
-	Applies: pathIn("repro/internal/service"),
+	Name: "keystable",
+	Doc:  "nothing order-unstable (map ranges, time.Now, %p) may flow into the sha256 content address",
+	// internal/stackdist is in scope alongside the service: screening
+	// results enter the same content-addressed cache, so any hashing the
+	// engine ever grows must obey the same stability rules.
+	Applies: pathIn("repro/internal/service", "repro/internal/stackdist"),
 	Run:     runKeyStable,
 }
 

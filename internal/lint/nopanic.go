@@ -18,6 +18,9 @@ var noPanicScope = pathIn(
 	"repro/internal/sched",
 	"repro/internal/trace",
 	"repro/internal/mips",
+	// The one-pass screening engine replaces whole sweeps: a panic mid
+	// pass would lose the entire grid, not one configuration.
+	"repro/internal/stackdist",
 	// The durability layer has the same contract as the model: a panic
 	// in the store, the fault injector, or the client would take down a
 	// serving daemon (or a chaos test) instead of producing one

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -39,7 +40,16 @@ import (
 // results can never be served across a deploy. It deliberately shares
 // fate with nothing else: lint rulesets and serving-layer changes do
 // not invalidate results.
-const CodeVersion = "gaascache-sim/1"
+const CodeVersion = "gaascache-sim/2"
+
+// Fidelity values for SweepRequest. Exact runs the cycle-accurate
+// simulator; screening runs the one-pass stack-distance analyzer
+// (internal/stackdist), which sweeps a whole configuration grid in a
+// single trace replay.
+const (
+	FidelityExact     = "exact"
+	FidelityScreening = "screening"
+)
 
 // Request validation bounds. Scale and level are multiplicative
 // simulation costs; an absurd value is a denial-of-service request, not
@@ -67,6 +77,11 @@ type SweepRequest struct {
 	Level int `json:"level,omitempty"`
 	// MaxInstructions caps each configuration run (0 = full suite).
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	// Fidelity selects the simulation engine: "exact" (default) for the
+	// cycle-accurate simulator, "screening" for the one-pass
+	// stack-distance analyzer. The normalized value is part of the cache
+	// key, so the two fidelities of one experiment cache independently.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // normalize canonicalizes the request so that every spelling of the
@@ -77,6 +92,9 @@ func (r SweepRequest) normalize() SweepRequest {
 	}
 	if r.Level == 0 {
 		r.Level = 8
+	}
+	if r.Fidelity == "" {
+		r.Fidelity = FidelityExact
 	}
 	return r
 }
@@ -95,6 +113,17 @@ func (r SweepRequest) validate() error {
 	if r.Level < 1 || r.Level > MaxLevel {
 		return fmt.Errorf("%w: level %d out of range [1,%d]", ErrBadRequest, r.Level, MaxLevel)
 	}
+	switch r.Fidelity {
+	case FidelityExact:
+	case FidelityScreening:
+		if !experiments.SupportsScreening(r.Experiment) {
+			return fmt.Errorf("%w: experiment %q has no screening mode (screening ids: %s)",
+				ErrBadRequest, r.Experiment, strings.Join(experiments.ScreeningIDs(), ", "))
+		}
+	default:
+		return fmt.Errorf("%w: fidelity %q must be %q or %q",
+			ErrBadRequest, r.Fidelity, FidelityExact, FidelityScreening)
+	}
 	return nil
 }
 
@@ -108,6 +137,7 @@ type SweepResponse struct {
 	Scale           int    `json:"scale"`
 	Level           int    `json:"level"`
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
+	Fidelity        string `json:"fidelity"`
 	CodeVersion     string `json:"code_version"`
 	Output          string `json:"output"` // the paper-style table text
 }

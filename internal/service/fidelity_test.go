@@ -1,0 +1,121 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSweepFidelityCachesIndependently pins the screening contract: the
+// normalized fidelity is part of the cache key, so screening and exact
+// results for the same experiment coexist instead of aliasing.
+func TestSweepFidelityCachesIndependently(t *testing.T) {
+	var runs atomic.Int32
+	_, ts := newTestServer(t, Options{}, func(req SweepRequest) (string, error) {
+		runs.Add(1)
+		return "fidelity=" + req.Fidelity, nil
+	})
+
+	respExact, bodyExact := postSweep(t, ts, `{"experiment":"fig6"}`)
+	if respExact.StatusCode != http.StatusOK {
+		t.Fatalf("exact request: %d %s", respExact.StatusCode, bodyExact)
+	}
+	respScr, bodyScr := postSweep(t, ts, `{"experiment":"fig6","fidelity":"screening"}`)
+	if respScr.StatusCode != http.StatusOK {
+		t.Fatalf("screening request: %d %s", respScr.StatusCode, bodyScr)
+	}
+	if respExact.Header.Get("X-Cache-Key") == respScr.Header.Get("X-Cache-Key") {
+		t.Fatal("exact and screening requests share a cache key")
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("%d simulations ran, want 2 (one per fidelity)", runs.Load())
+	}
+
+	var sr SweepResponse
+	if err := json.Unmarshal(bodyScr, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Fidelity != FidelityScreening || sr.Output != "fidelity=screening" {
+		t.Fatalf("screening response %+v", sr)
+	}
+
+	// The explicit default spelling of exact must hit the implicit one's
+	// cache entry (normalization before hashing).
+	respDefault, _ := postSweep(t, ts, `{"experiment":"fig6","fidelity":"exact"}`)
+	if got := respDefault.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("explicit exact X-Cache %q, want hit", got)
+	}
+	if runs.Load() != 2 {
+		t.Fatalf("%d simulations ran after explicit-exact repeat, want 2", runs.Load())
+	}
+}
+
+func TestSweepFidelityValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, func(req SweepRequest) (string, error) {
+		return "ok", nil
+	})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown fidelity", `{"experiment":"fig6","fidelity":"quick"}`, "must be"},
+		{"no screening mode", `{"experiment":"fig2","fidelity":"screening"}`, "no screening mode"},
+	}
+	for _, c := range cases {
+		resp, body := postSweep(t, ts, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), c.wantErr) {
+			t.Errorf("%s: body %s missing %q", c.name, body, c.wantErr)
+		}
+	}
+}
+
+// TestSweepScreeningEndToEnd runs a real screening sweep through the
+// default runner: the one-pass analyzer behind /v1/sweep.
+func TestSweepScreeningEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, nil)
+	resp, body := postSweep(t, ts,
+		`{"experiment":"fastsweep","fidelity":"screening","level":3,"max_instructions":100000}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("screening sweep: %d %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Fidelity != FidelityScreening {
+		t.Errorf("fidelity %q, want screening", sr.Fidelity)
+	}
+	if !strings.Contains(sr.Output, "one-pass screening") {
+		t.Errorf("screening output missing header:\n%s", sr.Output)
+	}
+}
+
+func TestExperimentsListMarksScreening(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, nil)
+	resp, err := http.Get(ts.URL + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list []struct {
+		ID        string `json:"id"`
+		Screening bool   `json:"screening"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]bool{}
+	for _, e := range list {
+		byID[e.ID] = e.Screening
+	}
+	if !byID["fastsweep"] || !byID["fig6"] {
+		t.Error("fastsweep/fig6 not marked screening-capable")
+	}
+	if byID["fig2"] {
+		t.Error("fig2 wrongly marked screening-capable")
+	}
+}

@@ -236,12 +236,16 @@ func (s *Server) defaultRunSweep(req SweepRequest) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
-	return e.Run(experiments.Options{
+	opts := experiments.Options{
 		Scale:           req.Scale,
 		Level:           req.Level,
 		MaxInstructions: req.MaxInstructions,
 		Parallelism:     s.opts.Parallelism,
-	})
+	}
+	if req.Fidelity == FidelityScreening {
+		return experiments.RunScreening(req.Experiment, opts)
+	}
+	return e.Run(opts)
 }
 
 func (s *Server) defaultRunSim(req SimRequest) (report.Report, error) {
@@ -492,13 +496,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
-		ID    string `json:"id"`
-		Title string `json:"title"`
+		ID        string `json:"id"`
+		Title     string `json:"title"`
+		Screening bool   `json:"screening,omitempty"`
 	}
 	reg := experiments.Registry()
 	list := make([]entry, 0, len(reg))
 	for _, e := range reg {
-		list = append(list, entry{e.ID, e.Title})
+		list = append(list, entry{e.ID, e.Title, experiments.SupportsScreening(e.ID)})
 	}
 	writeJSON(w, http.StatusOK, list)
 }
@@ -532,6 +537,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Scale:           req.Scale,
 			Level:           req.Level,
 			MaxInstructions: req.MaxInstructions,
+			Fidelity:        req.Fidelity,
 			CodeVersion:     CodeVersion,
 			Output:          out,
 		}, "", "  ")

@@ -1,0 +1,117 @@
+package stackdist
+
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Filter-cache line flags, mirroring the core simulator's cache model
+// bit for bit so the filter's miss stream matches the cycle-accurate
+// L1's miss stream reference for reference.
+const (
+	fValid     = 1 << 0
+	fDirty     = 1 << 1
+	fWriteOnly = 1 << 2
+)
+
+const fTagInvalid = ^uint64(0)
+
+// filterCache is a functional (untimed) replica of core's internal
+// set-associative cache: same flags, same LRU bookkeeping (exact for
+// the 1- and 2-way geometries the paper sweeps), same invalid-first
+// victim choice. It models only state, never cycles — its job is to
+// turn the L1 reference stream into the L2 reference stream.
+type filterCache struct {
+	geom    core.CacheGeom
+	sets    int
+	ways    int
+	setMask uint64
+	offBits uint
+
+	tags   []uint64
+	flags  []uint8
+	masks  []uint32 // per-word valid bits (Subblock policy)
+	lruWay []uint8  // MRU way per set (ways > 1)
+
+	fullMask uint32
+}
+
+func newFilterCache(geom core.CacheGeom) *filterCache {
+	sets := geom.SizeWords / (geom.LineWords * geom.Ways)
+	c := &filterCache{
+		geom:     geom,
+		sets:     sets,
+		ways:     geom.Ways,
+		setMask:  uint64(sets) - 1,
+		offBits:  log2(uint64(geom.LineWords * trace.WordBytes)),
+		tags:     make([]uint64, sets*geom.Ways),
+		flags:    make([]uint8, sets*geom.Ways),
+		masks:    make([]uint32, sets*geom.Ways),
+		lruWay:   make([]uint8, sets),
+		fullMask: uint32(1)<<uint(geom.LineWords) - 1,
+	}
+	for i := range c.tags {
+		c.tags[i] = fTagInvalid
+	}
+	return c
+}
+
+func (c *filterCache) lineAddr(addr uint64) uint64 { return addr >> c.offBits }
+
+func (c *filterCache) wordOf(addr uint64) uint {
+	return uint(addr>>2) & uint(c.geom.LineWords-1)
+}
+
+// find returns the slot holding line, or -1.
+func (c *filterCache) find(line uint64) int {
+	base := int(line&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == line {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// touch marks slot most-recently-used in its set.
+func (c *filterCache) touch(slot int) {
+	if c.ways > 1 {
+		c.lruWay[slot/c.ways] = uint8(slot % c.ways)
+	}
+}
+
+// victimSlot picks the replacement slot for line's set: an invalid way
+// if any, else LRU (exact for 1- and 2-way, round-robin beyond) —
+// identical to the core simulator's choice.
+func (c *filterCache) victimSlot(line uint64) int {
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == fTagInvalid {
+			return base + w
+		}
+	}
+	switch c.ways {
+	case 1:
+		return base
+	case 2:
+		return base + (1 - int(c.lruWay[set]))
+	default:
+		return base + (int(c.lruWay[set])+1)%c.ways
+	}
+}
+
+// insert installs line with the given flags and word mask, updating in
+// place if already present — byte-for-byte the core cache's insert,
+// minus the evicted-line report (the analyzer handles write-back
+// victims in its refill path, before insert, like System.evictFor).
+func (c *filterCache) insert(line uint64, flags uint8, mask uint32) {
+	slot := c.find(line)
+	if slot < 0 {
+		slot = c.victimSlot(line)
+	}
+	c.tags[slot] = line
+	c.flags[slot] = flags
+	c.masks[slot] = mask
+	c.touch(slot)
+}

@@ -1,0 +1,160 @@
+package stackdist_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stackdist"
+	"repro/internal/workload"
+)
+
+// The validation runs use a time slice far beyond the workload's total
+// cycle count, so every context switch is syscall-driven. Syscalls sit
+// at fixed stream positions, which makes the scheduler's interleaving
+// identical for the nominal-clock analyzer and the cycle-accurate
+// simulator — and on that shared reference stream the analyzer's LRU
+// model is exact, so the comparisons below demand integer equality,
+// the tightest tolerance a validation can pin.
+const syscallOnlySlice = uint64(1) << 62
+
+const (
+	valLevel   = 4
+	valPerProc = 60_000
+)
+
+func valScfg() sched.Config {
+	return sched.Config{Level: valLevel, TimeSlice: syscallOnlySlice}
+}
+
+// valAnalyze runs one analyzer pass over the validation workload.
+func valAnalyze(t *testing.T) *stackdist.Result {
+	t.Helper()
+	rec := workload.RecordPaperLike(valLevel, valPerProc)
+	res, _, err := stackdist.Analyze(paperConfig(), workload.ReplayProcesses(rec), valScfg())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+// valExact runs the cycle-accurate simulator on one configuration over
+// the same recording.
+func valExact(t *testing.T, cfg core.Config) core.Stats {
+	t.Helper()
+	rec := workload.RecordPaperLike(valLevel, valPerProc)
+	res, err := sim.Run(cfg, workload.ReplayProcesses(rec), valScfg())
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res.Stats
+}
+
+// TestL1DMatchesExactSimulator validates the L1-D grid against exact
+// runs on four paper geometries (Fig. 9's 1K–8K points at 1 and 2
+// ways) under the base write-back policy.
+func TestL1DMatchesExactSimulator(t *testing.T) {
+	res := valAnalyze(t)
+	geoms := []struct{ size, ways int }{
+		{1 * 1024, 1}, {4 * 1024, 1}, {2 * 1024, 2}, {8 * 1024, 2},
+	}
+	for _, g := range geoms {
+		cfg := core.Base()
+		cfg.L1D = core.CacheGeom{SizeWords: g.size, LineWords: 4, Ways: g.ways}
+		st := valExact(t, cfg)
+
+		gc, ok := res.Class(stackdist.ClassL1D).Counts(g.size, g.ways)
+		if !ok {
+			t.Fatalf("L1-D %dW %d-way: not in grid", g.size, g.ways)
+		}
+		if got, want := gc.Accesses(), st.L1DReads+st.L1DWrites; got != want {
+			t.Errorf("L1-D %dW %d-way: accesses %d, exact %d", g.size, g.ways, got, want)
+		}
+		if got, want := gc.Misses(), st.L1DReadMisses+st.L1DWriteMisses; got != want {
+			t.Errorf("L1-D %dW %d-way: misses %d, exact %d", g.size, g.ways, got, want)
+		}
+	}
+}
+
+// TestL1IMatchesExactSimulator validates the L1-I grid on the base and
+// a 4×-larger 2-way geometry.
+func TestL1IMatchesExactSimulator(t *testing.T) {
+	res := valAnalyze(t)
+	geoms := []struct{ size, ways int }{
+		{4 * 1024, 1}, {16 * 1024, 2},
+	}
+	for _, g := range geoms {
+		cfg := core.Base()
+		cfg.L1I = core.CacheGeom{SizeWords: g.size, LineWords: 4, Ways: g.ways}
+		st := valExact(t, cfg)
+
+		gc, ok := res.Class(stackdist.ClassL1I).Counts(g.size, g.ways)
+		if !ok {
+			t.Fatalf("L1-I %dW %d-way: not in grid", g.size, g.ways)
+		}
+		if got, want := gc.Accesses(), st.L1IAccesses; got != want {
+			t.Errorf("L1-I %dW %d-way: accesses %d, exact %d", g.size, g.ways, got, want)
+		}
+		if got, want := gc.Misses(), st.L1IMisses; got != want {
+			t.Errorf("L1-I %dW %d-way: misses %d, exact %d", g.size, g.ways, got, want)
+		}
+	}
+}
+
+// TestL2MatchesExactSimulator validates the unified-L2 grid behind the
+// base L1 filter: the filter's miss stream, with write-back victims
+// ordered after their refill reads, must reproduce the simulator's
+// L2 access and miss counts exactly.
+func TestL2MatchesExactSimulator(t *testing.T) {
+	res := valAnalyze(t)
+	geoms := []struct{ size, ways int }{
+		{64 * 1024, 1}, {256 * 1024, 1}, {256 * 1024, 2},
+	}
+	for _, g := range geoms {
+		cfg := core.Base()
+		cfg.L2U.Geom = core.CacheGeom{SizeWords: g.size, LineWords: 32, Ways: g.ways}
+		st := valExact(t, cfg)
+
+		gc, ok := res.Class(stackdist.ClassL2U).Counts(g.size, g.ways)
+		if !ok {
+			t.Fatalf("L2 %dW %d-way: not in grid", g.size, g.ways)
+		}
+		if got, want := gc.Accesses(), st.L2IAccesses+st.L2DAccesses; got != want {
+			t.Errorf("L2 %dW %d-way: accesses %d, exact %d", g.size, g.ways, got, want)
+		}
+		if got, want := gc.Misses(), st.L2IMisses+st.L2DMisses; got != want {
+			t.Errorf("L2 %dW %d-way: misses %d, exact %d", g.size, g.ways, got, want)
+		}
+	}
+}
+
+// TestFilterCountsMatchExactSimulator lines the filter L1's own
+// counters up against the exact base configuration — the same counts
+// the screening CPI estimate is built from.
+func TestFilterCountsMatchExactSimulator(t *testing.T) {
+	res := valAnalyze(t)
+	st := valExact(t, core.Base())
+	f := res.Filter
+	checks := []struct {
+		name      string
+		got, want uint64
+	}{
+		{"L1IAccesses", f.L1IAccesses, st.L1IAccesses},
+		{"L1IMisses", f.L1IMisses, st.L1IMisses},
+		{"L1DReads", f.L1DReads, st.L1DReads},
+		{"L1DReadMisses", f.L1DReadMisses, st.L1DReadMisses},
+		{"L1DWrites", f.L1DWrites, st.L1DWrites},
+		{"L1DWriteMisses", f.L1DWriteMisses, st.L1DWriteMisses},
+		{"L2 reads", f.L2IReads + f.L2DReads, st.L2IAccesses + st.L2DAccesses - f.L2DWrites},
+		{"L2 accesses", f.L2IReads + f.L2DReads + f.L2DWrites, st.L2IAccesses + st.L2DAccesses},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: analyzer %d, exact %d", c.name, c.got, c.want)
+		}
+	}
+	if res.Instructions != st.Instructions {
+		t.Errorf("instructions: analyzer %d, exact %d", res.Instructions, st.Instructions)
+	}
+}

@@ -181,6 +181,47 @@ func Record(scale int) []Recorded {
 	return e.rs
 }
 
+// paperKey identifies one PaperLike recording: the process count and
+// the per-process instruction budget.
+type paperKey struct {
+	n       int
+	perProc uint64
+}
+
+var (
+	paperMu    sync.Mutex // guards the map only, never held while recording
+	paperCache = map[paperKey]*recordEntry{}
+)
+
+// RecordPaperLike captures the paper-calibrated synthetic workload
+// (see PaperLike) in packed form, memoized per (n, perProc) with the
+// same sharing contract as Record: the returned traces are immutable
+// and must be replayed via cursors. The one-pass screening engine and
+// its exact cross-validation both replay this recording, so analyzer
+// and simulator see bit-identical event streams.
+func RecordPaperLike(n int, perProc uint64) []Recorded {
+	if n < 1 {
+		n = 1
+	}
+	key := paperKey{n, perProc}
+	paperMu.Lock()
+	e, ok := paperCache[key]
+	if !ok {
+		e = &recordEntry{}
+		paperCache[key] = e
+	}
+	paperMu.Unlock()
+	e.once.Do(func() {
+		procs := PaperLike(n, perProc)
+		rs := make([]Recorded, len(procs))
+		for i, p := range procs {
+			rs[i] = Recorded{Name: p.Name, Trace: trace.Pack(p.Stream)}
+		}
+		e.rs = rs
+	})
+	return e.rs
+}
+
 // ReplayProcesses returns scheduler processes that replay recorded
 // traces from the beginning. Safe to call repeatedly — and from
 // multiple goroutines, each driving its own system — for sweep runs.
