@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint verify fuzz chaos sweep serve load
+.PHONY: all build test bench lint verify fuzz chaos sweep serve load sample-validate
 
 all: build
 
@@ -51,6 +51,14 @@ chaos:
 	$(GO) test -race -run '(Chaos|Crash|Fault|Torn|Corrupt|Recover|Breaker|Retry|Drain)' \
 		./internal/store ./internal/faultinject ./internal/client ./internal/service ./cmd/cachesimd
 	$(GO) test -run=^$$ -fuzz=FuzzStoreRead -fuzztime=10s ./internal/store
+
+# sample-validate: the sampled-fidelity accuracy gate — sampled CPI and
+# miss ratios against exact runs of the same recordings at the bounds
+# DESIGN.md §12 documents, byte-identical rerun determinism, and the
+# warm fast-forward state-equivalence suite it all rests on.
+sample-validate:
+	$(GO) test -run 'TestSampled|TestWarm|TestRunnerWarm|TestSkipScan' \
+		./internal/sample ./internal/core ./internal/sched ./internal/trace ./internal/report ./internal/experiments
 
 # sweep: regenerate every table and figure, fault-tolerantly.
 sweep:

@@ -17,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mips"
 	"repro/internal/progs"
+	"repro/internal/sample"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -197,6 +198,53 @@ func BenchmarkExactGridConfigByConfig(b *testing.B) {
 		b.Fatal("empty grid")
 	}
 	b.ReportMetric(float64(len(rows)), "configs")
+}
+
+// BenchmarkSampledSweep measures the interval-sampling engine at its
+// validated default regime over a 64M-instruction paper-like recording:
+// skip/warm fast-forward between measured intervals, confidence
+// intervals over the interval CPIs. Compare ns/op against
+// BenchmarkExactSweepBaseline (same recording, full cycle-accurate
+// replay) for the speedup; the sampled-vs-exact accuracy bounds live in
+// internal/sample's validation tests and the EXPERIMENTS.md error
+// table.
+func BenchmarkSampledSweep(b *testing.B) {
+	rec := workload.RecordPaperLike(8, 8_000_000)
+	var res sample.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sample.Run(core.Base(), workload.ReplayProcesses(rec),
+			sched.Config{}, sample.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if res.Intervals < 10 {
+		b.Fatalf("only %d measured intervals", res.Intervals)
+	}
+	b.ReportMetric(float64(res.Intervals), "intervals")
+	b.ReportMetric(res.CPI.Mean, "cpi")
+	b.ReportMetric(float64(res.TotalInstructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkExactSweepBaseline is BenchmarkSampledSweep's exact twin:
+// the same recording through the full cycle-accurate simulator.
+func BenchmarkExactSweepBaseline(b *testing.B) {
+	rec := workload.RecordPaperLike(8, 8_000_000)
+	var res sim.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = sim.Run(core.Base(), workload.ReplayProcesses(rec), sched.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Stats.CPI(), "cpi")
+	b.ReportMetric(float64(res.Stats.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw trace-replay speed through

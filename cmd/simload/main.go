@@ -25,6 +25,8 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -44,7 +46,62 @@ func main() {
 type sample struct {
 	latency  time.Duration
 	source   string // hit | miss | coalesced | error:<class>
+	fidelity string // exact | screening | sampled
 	attempts int
+}
+
+// fidWeight is one term of the -fidelity-mix: this fraction of requests
+// runs at this fidelity.
+type fidWeight struct {
+	fidelity string
+	weight   float64
+}
+
+// parseFidelityMix parses "exact=0.5,screening=0.3,sampled=0.2".
+// Weights are renormalized, so any positive scale works.
+func parseFidelityMix(s string) ([]fidWeight, error) {
+	known := map[string]bool{}
+	for _, f := range experiments.Fidelities() {
+		known[f] = true
+	}
+	var mix []fidWeight
+	seen := map[string]bool{}
+	total := 0.0
+	for _, term := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return nil, fmt.Errorf("fidelity-mix term %q: want name=weight", term)
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("fidelity-mix: unknown fidelity %q (have %s)",
+				name, strings.Join(experiments.Fidelities(), ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fidelity-mix: fidelity %q repeated", name)
+		}
+		seen[name] = true
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("fidelity-mix: weight %q must be a positive number", val)
+		}
+		mix = append(mix, fidWeight{name, w})
+		total += w
+	}
+	for i := range mix {
+		mix[i].weight /= total
+	}
+	return mix, nil
+}
+
+// supportsFidelity reports whether experiment id can run at fidelity f.
+func supportsFidelity(id, f string) bool {
+	switch f {
+	case service.FidelityScreening:
+		return experiments.SupportsScreening(id)
+	case service.FidelitySampled:
+		return experiments.SupportsSampled(id)
+	}
+	return true
 }
 
 func run() error {
@@ -60,7 +117,8 @@ func run() error {
 		reqTimeout = flag.Duration("req-timeout", 2*time.Minute, "per-attempt deadline")
 		brkFails   = flag.Int("breaker-threshold", 8, "consecutive failures that open the circuit breaker (-1 disables)")
 		brkCool    = flag.Duration("breaker-cooldown", 2*time.Second, "how long an open breaker fails fast before probing")
-		screening  = flag.Bool("screening", false, "add screening-fidelity requests to the mix for experiments that support them")
+		mixFlag    = flag.String("fidelity-mix", "", `fidelity traffic mix, e.g. "exact=0.5,screening=0.3,sampled=0.2" (weights renormalized; empty = exact only)`)
+		screening  = flag.Bool("screening", false, `deprecated alias for -fidelity-mix "exact=0.5,screening=0.5"`)
 	)
 	flag.Parse()
 	switch {
@@ -76,25 +134,40 @@ func run() error {
 		return fmt.Errorf("-retries must be >= 1 (got %d)", *retries)
 	}
 
-	// The request universe: every registered experiment at each scale,
-	// zipf-ranked so a handful of (experiment, scale) pairs take most of
-	// the traffic.
-	// With -screening, experiments that have a one-pass mode also appear
-	// at screening fidelity — distinct cache keys, so the daemon's cache
-	// holds both populations side by side.
-	var universe [][]byte
-	for scale := 1; scale <= *scales; scale++ {
-		for _, e := range experiments.Registry() {
-			fidelities := []string{""}
-			if *screening && experiments.SupportsScreening(e.ID) {
-				fidelities = append(fidelities, service.FidelityScreening)
-			}
-			for _, f := range fidelities {
+	// The fidelity mix: each request first draws a fidelity by weight,
+	// then a zipf-ranked (experiment, scale) pair from that fidelity's
+	// universe. Distinct fidelities are distinct cache keys, so the
+	// daemon's cache holds the populations side by side.
+	mix := []fidWeight{{service.FidelityExact, 1}}
+	if *screening && *mixFlag != "" {
+		return fmt.Errorf("-screening is a deprecated alias for -fidelity-mix; give only one")
+	}
+	if *screening {
+		*mixFlag = "exact=0.5,screening=0.5"
+	}
+	if *mixFlag != "" {
+		var err error
+		if mix, err = parseFidelityMix(*mixFlag); err != nil {
+			return err
+		}
+	}
+
+	// One request universe per fidelity in the mix: every registered
+	// experiment that supports it, at each scale, zipf-ranked so a
+	// handful of (experiment, scale) pairs take most of the traffic.
+	universes := map[string][][]byte{}
+	for _, fw := range mix {
+		var universe [][]byte
+		for scale := 1; scale <= *scales; scale++ {
+			for _, e := range experiments.Registry() {
+				if !supportsFidelity(e.ID, fw.fidelity) {
+					continue
+				}
 				body, err := json.Marshal(service.SweepRequest{
 					Experiment:      e.ID,
 					Scale:           scale,
 					MaxInstructions: *maxInstr,
-					Fidelity:        f,
+					Fidelity:        fw.fidelity,
 				})
 				if err != nil {
 					return fmt.Errorf("marshal request: %w", err)
@@ -102,6 +175,10 @@ func run() error {
 				universe = append(universe, body)
 			}
 		}
+		if len(universe) == 0 {
+			return fmt.Errorf("fidelity %q matches no experiments", fw.fidelity)
+		}
+		universes[fw.fidelity] = universe
 	}
 
 	url := "http://" + *addr + "/v1/sweep"
@@ -129,24 +206,37 @@ func run() error {
 		go func(id int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(*seed + int64(id)))
-			zipf := rand.NewZipf(rng, *skew, 1, uint64(len(universe)-1))
+			zipfs := map[string]*rand.Zipf{}
+			for _, fw := range mix {
+				zipfs[fw.fidelity] = rand.NewZipf(rng, *skew, 1, uint64(len(universes[fw.fidelity])-1))
+			}
+			pick := func() string {
+				r := rng.Float64()
+				for _, fw := range mix {
+					if r -= fw.weight; r < 0 {
+						return fw.fidelity
+					}
+				}
+				return mix[len(mix)-1].fidelity
+			}
 			var local []sample
 			for time.Now().Before(deadline) {
-				body := universe[zipf.Uint64()]
+				fid := pick()
+				body := universes[fid][zipfs[fid].Uint64()]
 				start := time.Now()
 				res, err := cl.PostJSON(context.Background(), url, body)
 				lat := time.Since(start)
 				switch {
 				case errors.Is(err, client.ErrBreakerOpen):
-					local = append(local, sample{lat, "error:breaker-open", 0})
+					local = append(local, sample{lat, "error:breaker-open", fid, 0})
 				case err != nil:
-					local = append(local, sample{lat, "error:exhausted", *retries})
+					local = append(local, sample{lat, "error:exhausted", fid, *retries})
 				default:
 					src := res.Header.Get("X-Cache")
 					if tier := res.Header.Get("X-Cache-Tier"); tier == "disk" {
 						src = "hit-disk"
 					}
-					local = append(local, sample{lat, src, res.Attempts})
+					local = append(local, sample{lat, src, fid, res.Attempts})
 				}
 			}
 			mu.Lock()
@@ -166,10 +256,12 @@ func run() error {
 // report prints the latency study and what resilience cost.
 func report(samples []sample, d time.Duration, cs client.Stats) {
 	byClass := map[string][]time.Duration{}
+	byFidelity := map[string][]time.Duration{}
 	var all []time.Duration
 	retried := 0
 	for _, s := range samples {
 		byClass[s.source] = append(byClass[s.source], s.latency)
+		byFidelity[s.fidelity] = append(byFidelity[s.fidelity], s.latency)
 		all = append(all, s.latency)
 		if s.attempts > 1 {
 			retried++
@@ -185,6 +277,21 @@ func report(samples []sample, d time.Duration, cs client.Stats) {
 	sort.Strings(classes)
 	for _, c := range classes {
 		fmt.Printf("%-9s %s\n", c+":", describe(byClass[c]))
+	}
+
+	// Per-fidelity quantiles: the cost profile of each engine under the
+	// same cache and traffic shape. Skip the section when the mix is a
+	// single fidelity — the overall line already says it.
+	if len(byFidelity) > 1 {
+		fids := make([]string, 0, len(byFidelity))
+		for f := range byFidelity {
+			fids = append(fids, f)
+		}
+		sort.Strings(fids)
+		fmt.Println("by fidelity:")
+		for _, f := range fids {
+			fmt.Printf("  %-10s %s\n", f+":", describe(byFidelity[f]))
+		}
 	}
 	fmt.Printf("resilience: attempts=%d retries=%d retry_after_obeyed=%d breaker_opens=%d breaker_rejects=%d requests_retried=%d\n",
 		cs.Attempts, cs.Retries, cs.RetryAfterObey, cs.BreakerOpens, cs.BreakerRejects, retried)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/lint"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/sample"
 )
 
 // lintInfo stamps the manifest with the cachelint state of the source
@@ -57,6 +58,11 @@ func run() (err error) {
 		par       = flag.Int("par", -1, "configurations to simulate concurrently inside each experiment (-1 = all CPUs, 0 or 1 = serial); reports are byte-identical either way")
 		onepass   = flag.Bool("onepass", false, "screening fidelity: run the one-pass stack-distance analyzer instead of the cycle-accurate simulator")
 		compare   = flag.Bool("compare", false, "run screening and exact fidelity and report their deltas")
+		sampled   = flag.Bool("sampled", false, "sampled fidelity: measure a systematic sample of each run and report CPIs with 95% confidence intervals")
+		interval  = flag.Uint64("interval", 0, "sampled: instructions per measured interval (0 = validated default)")
+		period    = flag.Uint64("period", 0, "sampled: instructions per sampling period (0 = validated default)")
+		warmup    = flag.Uint64("warmup", 0, "sampled: detailed-warmup instructions before each interval (0 = validated default)")
+		window    = flag.Uint64("window", 0, "sampled: functional cache-warming instructions before each warmup (0 = validated default)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock limit per experiment attempt (0 = none)")
 		retries   = flag.Int("retries", 0, "retry a failed experiment this many times")
 		keepGoing = flag.Bool("keep-going", false, "run remaining experiments after one fails")
@@ -109,11 +115,33 @@ func run() (err error) {
 	if *onepass && *compare {
 		return fmt.Errorf("-onepass and -compare are exclusive: -compare already runs the screening pass")
 	}
+	if *sampled && (*onepass || *compare) {
+		return fmt.Errorf("-sampled is exclusive with -onepass/-compare: pick one fidelity")
+	}
+	if !*sampled && (*interval != 0 || *period != 0 || *warmup != 0 || *window != 0) {
+		return fmt.Errorf("-interval/-period/-warmup/-window only apply with -sampled")
+	}
+	if *sampled {
+		opt.Fidelity = experiments.FidelitySampled
+		opt.Sampling = sample.Config{
+			Interval:         *interval,
+			Period:           *period,
+			Warmup:           *warmup,
+			FunctionalWindow: *window,
+		}
+	}
 	if *exp == "list" {
 		for _, e := range experiments.Registry() {
-			note := ""
+			var notes []string
 			if experiments.SupportsScreening(e.ID) {
-				note = "  [screening]"
+				notes = append(notes, "screening")
+			}
+			if experiments.SupportsSampled(e.ID) {
+				notes = append(notes, "sampled")
+			}
+			note := ""
+			if len(notes) > 0 {
+				note = "  [" + strings.Join(notes, " ") + "]"
 			}
 			fmt.Printf("%-16s %s%s\n", e.ID, e.Title, note)
 		}
@@ -132,12 +160,21 @@ func run() (err error) {
 		}
 	}
 	screening := *onepass || *compare
+	supports := func(id string) bool {
+		switch {
+		case screening:
+			return experiments.SupportsScreening(id)
+		case *sampled:
+			return experiments.SupportsSampled(id)
+		}
+		return true
+	}
 	var list []experiments.Experiment
 	if *exp == "all" {
 		for _, e := range experiments.Registry() {
-			// With a screening fidelity, "all" means every experiment
-			// that has one; the rest have no one-pass analog to run.
-			if screening && !experiments.SupportsScreening(e.ID) {
+			// With a reduced fidelity, "all" means every experiment that
+			// has one; the rest have no analog under that engine.
+			if !supports(e.ID) {
 				continue
 			}
 			list = append(list, e)
@@ -148,9 +185,13 @@ func run() (err error) {
 			if err != nil {
 				return err
 			}
-			if screening && !experiments.SupportsScreening(e.ID) {
+			if screening && !supports(e.ID) {
 				return fmt.Errorf("experiment %q has no screening mode (screening ids: %s)",
 					e.ID, strings.Join(experiments.ScreeningIDs(), ", "))
+			}
+			if *sampled && !supports(e.ID) {
+				return fmt.Errorf("experiment %q has no sampled mode (sampled ids: %s)",
+					e.ID, strings.Join(experiments.SampledIDs(), ", "))
 			}
 			list = append(list, e)
 		}
@@ -164,6 +205,8 @@ func run() (err error) {
 			run = func(o experiments.Options) (string, error) { return experiments.ScreeningComparison(id, o) }
 		case *onepass:
 			run = func(o experiments.Options) (string, error) { return experiments.RunScreening(id, o) }
+		case *sampled:
+			run = func(o experiments.Options) (string, error) { return experiments.RunSampled(id, o) }
 		}
 		specs[i] = harness.Spec{
 			ID:    e.ID,

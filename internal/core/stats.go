@@ -194,6 +194,41 @@ func (s *Stats) Add(other *Stats) {
 	s.DTLBMisses += other.DTLBMisses
 }
 
+// Delta returns the component-wise difference s - earlier, where
+// earlier is a previous snapshot of the same accumulating counters.
+// Sampled simulation uses it to isolate the statistics of one
+// measurement interval from the running totals. Every field is an
+// absolute counter (cycle stamps like Cycles included: the snapshot
+// difference is the cycles the interval spanned), so the subtraction is
+// exhaustive by the same statscoverage rule that governs Add.
+func (s *Stats) Delta(earlier *Stats) Stats {
+	d := *s
+	d.Instructions -= earlier.Instructions
+	d.Cycles -= earlier.Cycles
+	for i := range d.Stalls {
+		d.Stalls[i] -= earlier.Stalls[i]
+	}
+	d.L1IAccesses -= earlier.L1IAccesses
+	d.L1IMisses -= earlier.L1IMisses
+	d.L1DReads -= earlier.L1DReads
+	d.L1DReadMisses -= earlier.L1DReadMisses
+	d.L1DWrites -= earlier.L1DWrites
+	d.L1DWriteMisses -= earlier.L1DWriteMisses
+	d.WriteOnlyReadMisses -= earlier.WriteOnlyReadMisses
+	d.SubblockWordMisses -= earlier.SubblockWordMisses
+	d.WBEnqueues -= earlier.WBEnqueues
+	d.WBFullStalls -= earlier.WBFullStalls
+	d.WBFlushes -= earlier.WBFlushes
+	d.L2IAccesses -= earlier.L2IAccesses
+	d.L2IMisses -= earlier.L2IMisses
+	d.L2DAccesses -= earlier.L2DAccesses
+	d.L2DMisses -= earlier.L2DMisses
+	d.L2DDirtyMisses -= earlier.L2DDirtyMisses
+	d.ITLBMisses -= earlier.ITLBMisses
+	d.DTLBMisses -= earlier.DTLBMisses
+	return d
+}
+
 // Breakdown formats the CPI stack in the style of Fig. 4.
 func (s *Stats) Breakdown() string {
 	var b strings.Builder

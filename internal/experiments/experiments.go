@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/sample"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -47,6 +48,14 @@ type Options struct {
 	// and parallel runs of the same experiment produce byte-identical
 	// reports.
 	Parallelism int
+	// Fidelity selects the engine RunFidelity dispatches to: "" or
+	// "exact" for the cycle-accurate simulator, "screening" for the
+	// one-pass stack-distance analyzer, "sampled" for interval sampling
+	// with confidence intervals (internal/sample).
+	Fidelity string
+	// Sampling tunes the sampled fidelity; the zero value selects the
+	// validated defaults (sample.Config).
+	Sampling sample.Config
 }
 
 func (o Options) normalized() Options {

@@ -29,6 +29,9 @@ var determinismScope = pathIn(
 	// Screening results are content-address cached like exact ones, so
 	// the stack-distance histograms must be bit-identical run to run.
 	"repro/internal/stackdist",
+	// Sampled results are cached and compared the same way: interval
+	// placement and the CI arithmetic must be bit-stable run to run.
+	"repro/internal/sample",
 	// The serving layer is in scope because its result cache replays
 	// stored bytes as if freshly simulated: any nondeterminism that
 	// leaked into a result body would break the byte-identity the cache

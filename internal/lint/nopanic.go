@@ -21,6 +21,9 @@ var noPanicScope = pathIn(
 	// The one-pass screening engine replaces whole sweeps: a panic mid
 	// pass would lose the entire grid, not one configuration.
 	"repro/internal/stackdist",
+	// The sampled engine fast-forwards through most of a run; a panic
+	// there would lose every measured interval behind it.
+	"repro/internal/sample",
 	// The durability layer has the same contract as the model: a panic
 	// in the store, the fault injector, or the client would take down a
 	// serving daemon (or a chaos test) instead of producing one

@@ -11,10 +11,13 @@ import (
 // referenced by at least one invariant check (CheckInvariants or a
 // check* helper). Without this, a newly added counter merges as zero or
 // escapes the runtime self-checks — both silent, both exactly the kind
-// of accounting drift the paper's CPI stacks cannot tolerate.
+// of accounting drift the paper's CPI stacks cannot tolerate. When the
+// package also defines (*Stats).Delta (interval snapshots for sampled
+// simulation), the same rule applies to it: a field Delta misses would
+// silently read as zero in every per-interval estimate.
 var StatsCoverage = &Analyzer{
 	Name: "statscoverage",
-	Doc:  "every core.Stats field must be merged by Add and referenced by an invariant check",
+	Doc:  "every core.Stats field must be merged by Add (and Delta, when defined) and referenced by an invariant check",
 	Applies: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/core")
 	},
@@ -34,6 +37,8 @@ func runStatsCoverage(pass *Pass) {
 
 	merged := map[string]bool{}
 	checked := map[string]bool{}
+	deltaed := map[string]bool{}
+	hasDelta := false
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -44,6 +49,9 @@ func runStatsCoverage(pass *Pass) {
 			switch {
 			case name == "Add" && receiverIs(pass.Pkg.Info, fd, obj):
 				collectStatsFields(pass.Pkg.Info, fd.Body, obj, merged)
+			case name == "Delta" && receiverIs(pass.Pkg.Info, fd, obj):
+				hasDelta = true
+				collectStatsFields(pass.Pkg.Info, fd.Body, obj, deltaed)
 			case name == "CheckInvariants" || strings.HasPrefix(name, "check"):
 				collectStatsFields(pass.Pkg.Info, fd.Body, obj, checked)
 			}
@@ -55,6 +63,10 @@ func runStatsCoverage(pass *Pass) {
 		if !merged[f.Name()] {
 			pass.Reportf(f.Pos(),
 				"Stats.%s is not accumulated by (*Stats).Add; merged shard statistics would drop it", f.Name())
+		}
+		if hasDelta && !deltaed[f.Name()] {
+			pass.Reportf(f.Pos(),
+				"Stats.%s is not subtracted by (*Stats).Delta; per-interval sampled estimates would drop it", f.Name())
 		}
 		if !checked[f.Name()] {
 			pass.Reportf(f.Pos(),

@@ -71,7 +71,14 @@ type MMU struct {
 	dtlb     *TLB
 	lastI    transCache // instruction-side last translation
 	lastD    transCache // data-side last translation
+	warmI    [warmMemoSize]transCache
+	warmD    [warmMemoSize]transCache
 }
+
+// warmMemoSize is the per-side capacity of the warm-translation memo, a
+// tiny direct-mapped table indexed by low vpn bits. It needs to cover
+// only the handful of pages a functional-warming window cycles through.
+const warmMemoSize = 8
 
 // transCache memoizes the most recent (pid, vpn) -> pfn translation of
 // one access port. Page mappings are assigned on first touch and never
@@ -144,7 +151,7 @@ func New(cfg Config) (*MMU, error) {
 	if err != nil {
 		return nil, fmt.Errorf("DTLB: %w", err)
 	}
-	return &MMU{
+	m := &MMU{
 		colors:   cfg.Colors,
 		coloring: cfg.Coloring,
 		pages:    make(map[uint64]uint32),
@@ -153,7 +160,12 @@ func New(cfg Config) (*MMU, error) {
 		dtlb:     dtlb,
 		lastI:    transCache{key: transCacheEmpty},
 		lastD:    transCache{key: transCacheEmpty},
-	}, nil
+	}
+	for i := range m.warmI {
+		m.warmI[i].key = transCacheEmpty
+		m.warmD[i].key = transCacheEmpty
+	}
+	return m, nil
 }
 
 // Colors returns the number of page colors in use.
@@ -220,6 +232,44 @@ func (m *MMU) translate(tlb *TLB, tc *transCache, pid PID, vaddr uint32) (uint64
 		tc.key, tc.pfn = key, pfn
 	}
 	return uint64(pfn)<<PageShift | uint64(vaddr&OffsetMask), hit
+}
+
+// TranslateWarmI is TranslateI for the functional-warming fast path:
+// on a memo hit the TLB is left completely alone (no hit/miss
+// accounting, no replacement-state update), which is what makes
+// warming cheap. On a memo miss the TLB is still probed so its
+// contents stay warm across a fast-forward span. The translation
+// itself is always exact — page mappings are immutable once assigned —
+// but TLB replacement state can drift from what a full replay would
+// hold; the detailed-warmup window before each measured interval is
+// what repairs the residue (see internal/sample).
+// The memo hit path falls straight through; only a miss pays the
+// outlined TLB-access call.
+func (m *MMU) TranslateWarmI(pid PID, vaddr uint32) uint64 {
+	key := uint64(pid)<<32 | uint64(vaddr>>PageShift)
+	tc := &m.warmI[key&(warmMemoSize-1)]
+	if tc.key != key {
+		return m.translateWarmMiss(m.itlb, tc, pid, vaddr)
+	}
+	return uint64(tc.pfn)<<PageShift | uint64(vaddr&OffsetMask)
+}
+
+// TranslateWarmD is TranslateD for the functional-warming fast path,
+// with the same contract as TranslateWarmI.
+func (m *MMU) TranslateWarmD(pid PID, vaddr uint32) uint64 {
+	key := uint64(pid)<<32 | uint64(vaddr>>PageShift)
+	tc := &m.warmD[key&(warmMemoSize-1)]
+	if tc.key != key {
+		return m.translateWarmMiss(m.dtlb, tc, pid, vaddr)
+	}
+	return uint64(tc.pfn)<<PageShift | uint64(vaddr&OffsetMask)
+}
+
+func (m *MMU) translateWarmMiss(tlb *TLB, tc *transCache, pid PID, vaddr uint32) uint64 {
+	vpn := vaddr >> PageShift
+	tlb.Access(pid, vpn)
+	tc.key, tc.pfn = uint64(pid)<<32|uint64(vpn), m.frameFor(pid, vpn)
+	return uint64(tc.pfn)<<PageShift | uint64(vaddr&OffsetMask)
 }
 
 // MappedPages returns the number of virtual pages currently mapped

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"repro/internal/core"
+	"repro/internal/sample"
+)
+
+// SampledStat is one sampled estimate: the mean across measured
+// intervals with its standard error and normal-approximation 95%
+// confidence interval. Field names are part of the stable JSON surface.
+type SampledStat struct {
+	Mean   float64 `json:"mean"`
+	Stderr float64 `json:"stderr"`
+	CI95Lo float64 `json:"ci95_lo"`
+	CI95Hi float64 `json:"ci95_hi"`
+}
+
+// SampledStats is the sampled-fidelity block of a Report: the sampling
+// regime that ran, its coverage, and the per-statistic interval
+// estimates. It appears only on reports produced by NewSampled.
+type SampledStats struct {
+	// The sampling regime, defaults applied (instruction counts).
+	Interval         uint64 `json:"interval"`
+	Period           uint64 `json:"period"`
+	Warmup           uint64 `json:"warmup"`
+	FunctionalWindow uint64 `json:"functional_window"`
+	Seed             uint64 `json:"seed"`
+	// Coverage: complete measured intervals and the instructions inside
+	// them, against everything the run consumed.
+	Intervals            int    `json:"intervals"`
+	MeasuredInstructions uint64 `json:"measured_instructions"`
+	TotalInstructions    uint64 `json:"total_instructions"`
+	// Interval estimates (mean, stderr, 95% CI across intervals).
+	CPI          SampledStat `json:"cpi"`
+	MemoryCPI    SampledStat `json:"memory_cpi"`
+	L1IMissRatio SampledStat `json:"l1i_miss_ratio"`
+	L1DMissRatio SampledStat `json:"l1d_miss_ratio"`
+	L2MissRatio  SampledStat `json:"l2_miss_ratio"`
+}
+
+func sampledStat(s sample.Stat) SampledStat {
+	return SampledStat{Mean: s.Mean, Stderr: s.Stderr, CI95Lo: s.CI95Lo, CI95Hi: s.CI95Hi}
+}
+
+// NewSampled builds the Report for one sampled run. The top-level
+// counters and derived figures describe the measured intervals only
+// (ratio-of-sums point estimates over res.Measured); the Sampled block
+// carries the regime, the coverage, and the per-statistic confidence
+// intervals. Sched describes the whole run, all fast-forward modes
+// included, exactly as sample.Run reports it.
+func NewSampled(cfg core.Config, res sample.Result) Report {
+	st := res.Measured
+	stack := make([]CauseCPI, 0, len(core.Causes()))
+	for _, c := range core.Causes() {
+		stack = append(stack, CauseCPI{Cause: c.String(), CPI: st.CPIOf(c)})
+	}
+	return Report{
+		Config:       cfg.String(),
+		Instructions: st.Instructions,
+		Cycles:       st.Cycles,
+		CPI:          st.CPI(),
+		MemoryCPI:    st.MemoryCPI(),
+		BaseCPI:      st.BaseCPI(),
+		CPIStack:     stack,
+		MissRatios: MissRatios{
+			L1I:      st.L1IMissRatio(),
+			L1D:      st.L1DMissRatio(),
+			L1DRead:  st.L1DReadMissRatio(),
+			L1DWrite: st.L1DWriteMissRatio(),
+			L2:       st.L2MissRatio(),
+			L2I:      st.L2IMissRatio(),
+			L2D:      st.L2DMissRatio(),
+		},
+		Counters: st,
+		Sched: SchedStats{
+			Instructions:    res.Sched.Instructions,
+			Switches:        res.Sched.Switches,
+			SyscallSwitches: res.Sched.SyscallSwitches,
+			SliceSwitches:   res.Sched.SliceSwitches,
+			CyclesPerSwitch: res.Sched.CyclesPerSwitch,
+			Completed:       res.Sched.Completed,
+			PerProcess:      res.Sched.PerProcess,
+		},
+		Sampled: &SampledStats{
+			Interval:             res.Config.Interval,
+			Period:               res.Config.Period,
+			Warmup:               res.Config.Warmup,
+			FunctionalWindow:     res.Config.FunctionalWindow,
+			Seed:                 res.Config.Seed,
+			Intervals:            res.Intervals,
+			MeasuredInstructions: res.MeasuredInstructions,
+			TotalInstructions:    res.TotalInstructions,
+			CPI:                  sampledStat(res.CPI),
+			MemoryCPI:            sampledStat(res.MemoryCPI),
+			L1IMissRatio:         sampledStat(res.L1IMissRatio),
+			L1DMissRatio:         sampledStat(res.L1DMissRatio),
+			L2MissRatio:          sampledStat(res.L2MissRatio),
+		},
+	}
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sample"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// goldenSampledRun is a small deterministic sampled run whose Report
+// the golden file freezes. A short interval and period keep the run
+// cheap while still yielding several measured intervals.
+func goldenSampledRun(t *testing.T) Report {
+	t.Helper()
+	cfg := core.Base()
+	res, err := sample.Run(cfg,
+		workload.ReplayProcesses(workload.RecordPaperLike(2, 150_000)),
+		sched.Config{Level: 2},
+		sample.Config{Interval: 2_000, Period: 30_000, Warmup: 500, FunctionalWindow: 8_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intervals < 2 {
+		t.Fatalf("golden sampled run measured only %d intervals", res.Intervals)
+	}
+	return NewSampled(cfg, res)
+}
+
+// TestSampledReportJSONGolden freezes the sampled block's JSON surface:
+// the field names and layout under "sampled" are stable API the service
+// serves and clients parse.
+func TestSampledReportJSONGolden(t *testing.T) {
+	r := goldenSampledRun(t)
+	got, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_sampled_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("sampled report JSON drifted from golden file %s\ngot:\n%s\nwant:\n%s\n(run with -update if the change is intended)",
+			golden, got, want)
+	}
+}
+
+// TestSampledReportRoundTrip checks the sampled block survives an
+// unmarshal/marshal cycle byte-identically (the cache-tier property),
+// and that exact reports keep omitting it.
+func TestSampledReportRoundTrip(t *testing.T) {
+	r := goldenSampledRun(t)
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sampled == nil {
+		t.Fatal("sampled block lost in round trip")
+	}
+	again, err := back.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("round trip not byte-identical:\nfirst:\n%s\nsecond:\n%s", data, again)
+	}
+
+	exact, err := goldenRun(t).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(exact, []byte(`"sampled"`)) {
+		t.Error("exact report unexpectedly contains a sampled block")
+	}
+}

@@ -40,15 +40,18 @@ import (
 // results can never be served across a deploy. It deliberately shares
 // fate with nothing else: lint rulesets and serving-layer changes do
 // not invalidate results.
-const CodeVersion = "gaascache-sim/2"
+const CodeVersion = "gaascache-sim/3"
 
 // Fidelity values for SweepRequest. Exact runs the cycle-accurate
 // simulator; screening runs the one-pass stack-distance analyzer
 // (internal/stackdist), which sweeps a whole configuration grid in a
-// single trace replay.
+// single trace replay; sampled runs the interval-sampling engine
+// (internal/sample), which measures a systematic sample of each run and
+// reports every CPI with a 95% confidence interval.
 const (
-	FidelityExact     = "exact"
-	FidelityScreening = "screening"
+	FidelityExact     = experiments.FidelityExact
+	FidelityScreening = experiments.FidelityScreening
+	FidelitySampled   = experiments.FidelitySampled
 )
 
 // Request validation bounds. Scale and level are multiplicative
@@ -79,8 +82,9 @@ type SweepRequest struct {
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
 	// Fidelity selects the simulation engine: "exact" (default) for the
 	// cycle-accurate simulator, "screening" for the one-pass
-	// stack-distance analyzer. The normalized value is part of the cache
-	// key, so the two fidelities of one experiment cache independently.
+	// stack-distance analyzer, "sampled" for interval sampling with
+	// confidence intervals. The normalized value is part of the cache
+	// key, so each fidelity of one experiment caches independently.
 	Fidelity string `json:"fidelity,omitempty"`
 }
 
@@ -120,9 +124,14 @@ func (r SweepRequest) validate() error {
 			return fmt.Errorf("%w: experiment %q has no screening mode (screening ids: %s)",
 				ErrBadRequest, r.Experiment, strings.Join(experiments.ScreeningIDs(), ", "))
 		}
+	case FidelitySampled:
+		if !experiments.SupportsSampled(r.Experiment) {
+			return fmt.Errorf("%w: experiment %q has no sampled mode (sampled ids: %s)",
+				ErrBadRequest, r.Experiment, strings.Join(experiments.SampledIDs(), ", "))
+		}
 	default:
-		return fmt.Errorf("%w: fidelity %q must be %q or %q",
-			ErrBadRequest, r.Fidelity, FidelityExact, FidelityScreening)
+		return fmt.Errorf("%w: fidelity %q must be one of %s",
+			ErrBadRequest, r.Fidelity, strings.Join(experiments.Fidelities(), ", "))
 	}
 	return nil
 }

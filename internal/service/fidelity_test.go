@@ -61,6 +61,7 @@ func TestSweepFidelityValidation(t *testing.T) {
 	}{
 		{"unknown fidelity", `{"experiment":"fig6","fidelity":"quick"}`, "must be"},
 		{"no screening mode", `{"experiment":"fig2","fidelity":"screening"}`, "no screening mode"},
+		{"no sampled mode", `{"experiment":"fig3","fidelity":"sampled"}`, "no sampled mode"},
 	}
 	for _, c := range cases {
 		resp, body := postSweep(t, ts, c.body)
@@ -94,7 +95,30 @@ func TestSweepScreeningEndToEnd(t *testing.T) {
 	}
 }
 
-func TestExperimentsListMarksScreening(t *testing.T) {
+// TestSweepSampledEndToEnd runs a real sampled sweep through the
+// default runner: the interval-sampling engine behind /v1/sweep at its
+// validated default regime.
+func TestSweepSampledEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{}, nil)
+	resp, body := postSweep(t, ts, `{"experiment":"fig2","fidelity":"sampled","level":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled sweep: %d %s", resp.StatusCode, body)
+	}
+	var sr SweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Fidelity != FidelitySampled {
+		t.Errorf("fidelity %q, want sampled", sr.Fidelity)
+	}
+	for _, want := range []string{"CPI (95% CI)", "±", "intervals"} {
+		if !strings.Contains(sr.Output, want) {
+			t.Errorf("sampled output missing %q:\n%s", want, sr.Output)
+		}
+	}
+}
+
+func TestExperimentsListMarksFidelities(t *testing.T) {
 	_, ts := newTestServer(t, Options{}, nil)
 	resp, err := http.Get(ts.URL + "/v1/experiments")
 	if err != nil {
@@ -102,20 +126,48 @@ func TestExperimentsListMarksScreening(t *testing.T) {
 	}
 	defer resp.Body.Close()
 	var list []struct {
-		ID        string `json:"id"`
-		Screening bool   `json:"screening"`
+		ID         string   `json:"id"`
+		Fidelities []string `json:"fidelities"`
+		Screening  bool     `json:"screening"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
-	byID := map[string]bool{}
+	byID := map[string][]string{}
+	scr := map[string]bool{}
 	for _, e := range list {
-		byID[e.ID] = e.Screening
+		byID[e.ID] = e.Fidelities
+		scr[e.ID] = e.Screening
 	}
-	if !byID["fastsweep"] || !byID["fig6"] {
+	has := func(id, f string) bool {
+		for _, g := range byID[id] {
+			if g == f {
+				return true
+			}
+		}
+		return false
+	}
+	for _, id := range []string{"fig2", "fig6", "fastsweep", "table1"} {
+		if !has(id, FidelityExact) {
+			t.Errorf("%s missing exact fidelity: %v", id, byID[id])
+		}
+	}
+	if !has("fastsweep", FidelityScreening) || !has("fig6", FidelityScreening) {
 		t.Error("fastsweep/fig6 not marked screening-capable")
 	}
-	if byID["fig2"] {
+	if !has("fig2", FidelitySampled) || !has("fig6", FidelitySampled) {
+		t.Error("fig2/fig6 not marked sampled-capable")
+	}
+	if has("fig2", FidelityScreening) {
 		t.Error("fig2 wrongly marked screening-capable")
+	}
+	if has("fig3", FidelitySampled) {
+		t.Error("fig3 wrongly marked sampled-capable")
+	}
+	// The deprecated boolean must keep tracking screening support for
+	// one more release.
+	if !scr["fastsweep"] || scr["fig2"] {
+		t.Errorf("deprecated screening flag drifted: fastsweep=%v fig2=%v",
+			scr["fastsweep"], scr["fig2"])
 	}
 }

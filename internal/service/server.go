@@ -232,8 +232,7 @@ func (s *Server) isDraining() bool {
 // --- default runners -------------------------------------------------
 
 func (s *Server) defaultRunSweep(req SweepRequest) (string, error) {
-	e, err := experiments.ByID(req.Experiment)
-	if err != nil {
+	if _, err := experiments.ByID(req.Experiment); err != nil {
 		return "", fmt.Errorf("%w: %w", ErrBadRequest, err)
 	}
 	opts := experiments.Options{
@@ -241,11 +240,9 @@ func (s *Server) defaultRunSweep(req SweepRequest) (string, error) {
 		Level:           req.Level,
 		MaxInstructions: req.MaxInstructions,
 		Parallelism:     s.opts.Parallelism,
+		Fidelity:        req.Fidelity,
 	}
-	if req.Fidelity == FidelityScreening {
-		return experiments.RunScreening(req.Experiment, opts)
-	}
-	return e.Run(opts)
+	return experiments.RunFidelity(req.Experiment, opts)
 }
 
 func (s *Server) defaultRunSim(req SimRequest) (report.Report, error) {
@@ -496,14 +493,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	type entry struct {
-		ID        string `json:"id"`
-		Title     string `json:"title"`
-		Screening bool   `json:"screening,omitempty"`
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		// Fidelities lists every engine that can run this experiment
+		// ("exact" always, plus "screening" and/or "sampled").
+		Fidelities []string `json:"fidelities"`
+		// Screening is deprecated: read Fidelities instead. Kept one
+		// release for clients still keying on the boolean.
+		Screening bool `json:"screening,omitempty"`
 	}
 	reg := experiments.Registry()
 	list := make([]entry, 0, len(reg))
 	for _, e := range reg {
-		list = append(list, entry{e.ID, e.Title, experiments.SupportsScreening(e.ID)})
+		fids := []string{FidelityExact}
+		if experiments.SupportsScreening(e.ID) {
+			fids = append(fids, FidelityScreening)
+		}
+		if experiments.SupportsSampled(e.ID) {
+			fids = append(fids, FidelitySampled)
+		}
+		list = append(list, entry{e.ID, e.Title, fids, experiments.SupportsScreening(e.ID)})
 	}
 	writeJSON(w, http.StatusOK, list)
 }

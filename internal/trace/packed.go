@@ -28,22 +28,38 @@ package trace
 type Recorded struct {
 	words []uint32
 	n     int
+	// blockWord[i] is the offset in words of event i*skipIndexBlock,
+	// and sysEv lists the event indices whose Syscall flag is set, in
+	// ascending order. Both are maintained by Append (appending is the
+	// only mutation a Recorded ever sees), and together they let
+	// SkipScan jump a fast-forward span in O(log syscalls) with at
+	// most skipIndexBlock words walked, instead of touching every
+	// event's words.
+	blockWord []int
+	sysEv     []int
 }
 
-// Event tags (low two bits of the leading word).
+// skipIndexBlock is the event stride of the packed skip index.
+const skipIndexBlock = 4096
+
+// Event tags (low two bits of the leading word). Exported, with the
+// meta-word layout below, for zero-decode scanners over RawWords (the
+// functional-warming fast path in internal/core); everything else
+// should consume events through Next/Batch.
 const (
-	tagPlain = 0 // PC word only
-	tagMeta  = 1 // PC word + meta
-	tagData  = 2 // PC word + meta + data
-	tagRaw   = 3 // tag word + meta + data + full unaligned PC
+	TagMask  = 3
+	TagPlain = 0 // PC word only
+	TagMeta  = 1 // PC word + meta
+	TagData  = 2 // PC word + meta + data
+	TagRaw   = 3 // tag word + meta + data + full unaligned PC
 )
 
 // Meta word layout.
 const (
-	metaKindShift    = 0
-	metaSizeShift    = 8
-	metaStallShift   = 16
-	metaSyscallShift = 24
+	MetaKindShift  = 0
+	MetaSizeShift  = 8
+	MetaStallShift = 16
+	MetaSyscallBit = 1 << 24
 )
 
 // Pack drains s into a new packed recording.
@@ -58,21 +74,27 @@ func Pack(s Stream) *Recorded {
 
 // Append adds one event to the end of the recording.
 func (r *Recorded) Append(ev *Event) {
-	meta := uint32(ev.Kind)<<metaKindShift |
-		uint32(ev.Size)<<metaSizeShift |
-		uint32(ev.Stall)<<metaStallShift
+	if r.n%skipIndexBlock == 0 {
+		r.blockWord = append(r.blockWord, len(r.words))
+	}
 	if ev.Syscall {
-		meta |= 1 << metaSyscallShift
+		r.sysEv = append(r.sysEv, r.n)
+	}
+	meta := uint32(ev.Kind)<<MetaKindShift |
+		uint32(ev.Size)<<MetaSizeShift |
+		uint32(ev.Stall)<<MetaStallShift
+	if ev.Syscall {
+		meta |= MetaSyscallBit
 	}
 	switch {
 	case ev.PC&3 != 0:
-		r.words = append(r.words, tagRaw, meta, ev.Data, ev.PC)
+		r.words = append(r.words, TagRaw, meta, ev.Data, ev.PC)
 	case meta == 0 && ev.Data == 0:
-		r.words = append(r.words, ev.PC|tagPlain)
+		r.words = append(r.words, ev.PC|TagPlain)
 	case ev.Data == 0:
-		r.words = append(r.words, ev.PC|tagMeta, meta)
+		r.words = append(r.words, ev.PC|TagMeta, meta)
 	default:
-		r.words = append(r.words, ev.PC|tagData, meta, ev.Data)
+		r.words = append(r.words, ev.PC|TagData, meta, ev.Data)
 	}
 	r.n++
 }
@@ -88,39 +110,39 @@ func (r *Recorded) Bytes() int { return len(r.words) * 4 }
 func (r *Recorded) decode(i int, ev *Event) int {
 	w0 := r.words[i]
 	switch w0 & 3 {
-	case tagPlain:
+	case TagPlain:
 		*ev = Event{PC: w0}
 		return i + 1
-	case tagMeta:
+	case TagMeta:
 		m := r.words[i+1]
 		*ev = Event{
 			PC:      w0 &^ 3,
-			Kind:    Kind(m >> metaKindShift),
-			Size:    uint8(m >> metaSizeShift),
-			Stall:   uint8(m >> metaStallShift),
-			Syscall: m>>metaSyscallShift&1 != 0,
+			Kind:    Kind(m >> MetaKindShift),
+			Size:    uint8(m >> MetaSizeShift),
+			Stall:   uint8(m >> MetaStallShift),
+			Syscall: m&MetaSyscallBit != 0,
 		}
 		return i + 2
-	case tagData:
+	case TagData:
 		m := r.words[i+1]
 		*ev = Event{
 			PC:      w0 &^ 3,
 			Data:    r.words[i+2],
-			Kind:    Kind(m >> metaKindShift),
-			Size:    uint8(m >> metaSizeShift),
-			Stall:   uint8(m >> metaStallShift),
-			Syscall: m>>metaSyscallShift&1 != 0,
+			Kind:    Kind(m >> MetaKindShift),
+			Size:    uint8(m >> MetaSizeShift),
+			Stall:   uint8(m >> MetaStallShift),
+			Syscall: m&MetaSyscallBit != 0,
 		}
 		return i + 3
-	default: // tagRaw
+	default: // TagRaw
 		m := r.words[i+1]
 		*ev = Event{
 			PC:      r.words[i+3],
 			Data:    r.words[i+2],
-			Kind:    Kind(m >> metaKindShift),
-			Size:    uint8(m >> metaSizeShift),
-			Stall:   uint8(m >> metaStallShift),
-			Syscall: m>>metaSyscallShift&1 != 0,
+			Kind:    Kind(m >> MetaKindShift),
+			Size:    uint8(m >> MetaSizeShift),
+			Stall:   uint8(m >> MetaStallShift),
+			Syscall: m&MetaSyscallBit != 0,
 		}
 		return i + 4
 	}
@@ -143,6 +165,7 @@ const cursorBatchMax = 4096
 type Cursor struct {
 	r   *Recorded
 	w   int     // index of the next undecoded word
+	wEv int     // event index of the next undecoded word
 	buf []Event // decoded read-ahead
 	pos int     // events of buf already consumed
 }
@@ -158,6 +181,7 @@ func (c *Cursor) Next(ev *Event) bool {
 		return false
 	}
 	c.w = c.r.decode(c.w, ev)
+	c.wEv++
 	return true
 }
 
@@ -192,7 +216,7 @@ func (c *Cursor) Batch(max int) []Event {
 	for n < len(buf) && w < len(words) {
 		w0 := words[w]
 		tag := w0 & 3
-		if tag == tagPlain {
+		if tag == TagPlain {
 			buf[n] = Event{PC: w0}
 			w++
 			n++
@@ -201,18 +225,18 @@ func (c *Cursor) Batch(max int) []Event {
 		m := words[w+1]
 		ev := Event{
 			PC:      w0 &^ 3,
-			Kind:    Kind(m >> metaKindShift),
-			Size:    uint8(m >> metaSizeShift),
-			Stall:   uint8(m >> metaStallShift),
-			Syscall: m>>metaSyscallShift&1 != 0,
+			Kind:    Kind(m >> MetaKindShift),
+			Size:    uint8(m >> MetaSizeShift),
+			Stall:   uint8(m >> MetaStallShift),
+			Syscall: m&MetaSyscallBit != 0,
 		}
 		switch tag {
-		case tagMeta:
+		case TagMeta:
 			w += 2
-		case tagData:
+		case TagData:
 			ev.Data = words[w+2]
 			w += 3
-		default: // tagRaw
+		default: // TagRaw
 			ev.Data, ev.PC = words[w+2], words[w+3]
 			w += 4
 		}
@@ -220,6 +244,7 @@ func (c *Cursor) Batch(max int) []Event {
 		n++
 	}
 	c.w = w
+	c.wEv += n
 	c.buf = buf[:n]
 	c.pos = 0
 	return c.buf
@@ -228,3 +253,24 @@ func (c *Cursor) Batch(max int) []Event {
 // Skip implements BatchStream: it consumes n events, which must not
 // exceed the length of the last Batch result.
 func (c *Cursor) Skip(n int) { c.pos += n }
+
+// Pending returns the already-decoded but unconsumed events of the last
+// Batch call. A zero-decode scanner must consume (and Skip) these
+// before touching RawWords, or it would replay events the cursor has
+// already decoded past.
+func (c *Cursor) Pending() []Event { return c.buf[c.pos:] }
+
+// RawWords exposes the packed word stream and the index of the
+// cursor's next undecoded word, for zero-decode scanning (see the Tag*
+// and Meta* constants for the layout). Only valid when Pending is
+// empty. The scanner must report its progress with RawAdvance before
+// any other cursor call.
+func (c *Cursor) RawWords() (words []uint32, w int) { return c.r.words, c.w }
+
+// RawAdvance commits a raw scan: the cursor's next undecoded word
+// becomes w, and n events are accounted as consumed. w and n must
+// describe a walk from the RawWords position over exactly n events.
+func (c *Cursor) RawAdvance(w, n int) {
+	c.w = w
+	c.wEv += n
+}
