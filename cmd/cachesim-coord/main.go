@@ -1,0 +1,128 @@
+// Command cachesim-coord is the distributed-fabric coordinator: it
+// shards the simulation request space across a fleet of cachesimd
+// workers with a consistent-hash ring keyed on the same content
+// address the workers cache under. Each key has one home worker, so
+// every shard's in-memory LRU and disk store stay hot and the cluster
+// never computes one result twice; a dead or straggling worker is
+// covered by failover and hedged retries to the next ring replica.
+//
+// The coordinator speaks the same /v1 surface as a single cachesimd
+// (clients, simload included, need no changes), plus:
+//
+//   - POST /v1/grid — scatter-gather: a multi-configuration experiment
+//     sweep split into per-config sub-requests, routed independently,
+//     merged in input order into one deterministic body;
+//   - GET /v1/cluster — ring state, per-worker cache stats from
+//     heartbeats, routing/hedge counters, and circuit-breaker phases;
+//   - POST /v1/fabric/register — the workers' heartbeat endpoint
+//     (cachesimd -coordinator drives it).
+//
+// Workers join by heartbeating and leave by missing heartbeats for the
+// TTL; survivors keep their ring positions, so churn only moves the
+// departed worker's key ranges. See DESIGN.md §13.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fabric"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim-coord:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr           = flag.String("addr", "localhost:8355", "listen address")
+		vnodes         = flag.Int("vnodes", fabric.DefaultVnodes, "virtual nodes per worker on the hash ring")
+		ttl            = flag.Duration("heartbeat-ttl", fabric.DefaultHeartbeatTTL, "drain a worker after this much heartbeat silence")
+		replicas       = flag.Int("replicas", 2, "ring successors a request may try (owner included)")
+		hedgeDelay     = flag.Duration("hedge-delay", 15*time.Second, "silence before a hedge leg goes to the next replica")
+		workerInflight = flag.Int("worker-inflight", 32, "concurrent legs per worker before queueing")
+		gridFanout     = flag.Int("grid-fanout", 8, "concurrent sub-requests per /v1/grid scatter")
+		attemptTimeout = flag.Duration("attempt-timeout", 10*time.Minute, "per-leg-attempt deadline (cover the longest simulation)")
+		maxAttempts    = flag.Int("max-attempts", 3, "attempts per worker leg before failing over")
+		drainTimeout   = flag.Duration("drain-timeout", 1*time.Minute, "how long SIGTERM waits for in-flight requests")
+	)
+	flag.Parse()
+
+	switch {
+	case *replicas < 1:
+		return fmt.Errorf("-replicas must be >= 1 (got %d)", *replicas)
+	case *drainTimeout <= 0:
+		return fmt.Errorf("-drain-timeout must be > 0 (got %v)", *drainTimeout)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	coord, err := fabric.NewCoordinator(ctx, fabric.CoordinatorOptions{
+		Vnodes:         *vnodes,
+		HeartbeatTTL:   *ttl,
+		Replicas:       *replicas,
+		HedgeDelay:     *hedgeDelay,
+		WorkerInflight: *workerInflight,
+		GridFanout:     *gridFanout,
+		Client: client.Options{
+			MaxAttempts:    *maxAttempts,
+			AttemptTimeout: *attemptTimeout,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Listen before announcing, so "-addr localhost:0" prints the real
+	// port (the end-to-end tests depend on this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	fmt.Printf("cachesim-coord: serving on http://%s (vnodes=%d replicas=%d heartbeat-ttl=%v)\n",
+		ln.Addr(), *vnodes, *replicas, *ttl)
+
+	select {
+	case err := <-errCh:
+		return err // listener died before any signal
+	case sig := <-sigCh:
+		fmt.Printf("cachesim-coord: %v: draining (up to %v)\n", sig, *drainTimeout)
+	}
+
+	coord.BeginDrain()
+	sctx, scancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Println("cachesim-coord: drained, exiting")
+	return nil
+}

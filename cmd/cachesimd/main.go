@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -52,6 +53,10 @@ func run() error {
 		storeDir      = flag.String("store-dir", "", "directory for the crash-safe disk result store (empty = memory-only)")
 		storeMaxBytes = flag.Int64("store-max-bytes", 256<<20, "disk store size bound; oldest segments evicted beyond it")
 		fsync         = flag.String("fsync", "batch", "disk store fsync policy: always (power-loss safe), batch, or never")
+		coordinator   = flag.String("coordinator", "", "coordinator base URL; join its fabric as a worker (e.g. http://localhost:8355)")
+		workerID      = flag.String("worker-id", "", "stable fabric identity; restarting under the same id reclaims the same ring shard (default: the listen address)")
+		advertise     = flag.String("advertise", "", "base URL the coordinator should dial for this worker (default: http://<listen address>)")
+		heartbeat     = flag.Duration("heartbeat-interval", 0, "fabric heartbeat cadence (0 = a third of the coordinator's default TTL)")
 	)
 	flag.Parse()
 
@@ -76,6 +81,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *coordinator == "" && (*workerID != "" || *advertise != "") {
+		return fmt.Errorf("-worker-id/-advertise only make sense with -coordinator")
+	}
+
+	// Listen before building the service: the worker's default fabric
+	// identity and advertised URL come from the bound address, and
+	// "-addr localhost:0" must print the real port (the end-to-end tests
+	// depend on the serving line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	id := *workerID
+	if id == "" {
+		id = ln.Addr().String()
+	}
+	selfURL := *advertise
+	if selfURL == "" {
+		selfURL = "http://" + ln.Addr().String()
+	}
 
 	opts := service.Options{
 		Workers:        *workers,
@@ -83,6 +109,9 @@ func run() error {
 		CacheEntries:   *cacheEntries,
 		RequestTimeout: *reqTimeout,
 		Parallelism:    *par,
+	}
+	if *coordinator != "" {
+		opts.WorkerID = id
 	}
 	if *storeDir != "" {
 		st, err := store.Open(store.Options{
@@ -105,15 +134,10 @@ func run() error {
 
 	srv, err := service.New(opts)
 	if err != nil {
+		ln.Close()
 		return err
 	}
 
-	// Listen before announcing, so "-addr localhost:0" prints the real
-	// port (the end-to-end tests depend on this line).
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -133,6 +157,40 @@ func run() error {
 	fmt.Printf("cachesimd: serving on http://%s (workers=%d queue=%d cache=%d)\n",
 		ln.Addr(), *workers, *queueDepth, *cacheEntries)
 
+	// Fabric worker mode: heartbeat the coordinator until shutdown. The
+	// daemon serves direct traffic either way; heartbeats only decide
+	// ring membership.
+	var (
+		reg       *fabric.Registrar
+		regCancel context.CancelFunc
+	)
+	if *coordinator != "" {
+		var regCtx context.Context
+		regCtx, regCancel = context.WithCancel(context.Background())
+		defer regCancel()
+		reg, err = fabric.StartRegistrar(regCtx, fabric.RegistrarOptions{
+			Coordinator: *coordinator,
+			ID:          id,
+			Addr:        selfURL,
+			Interval:    *heartbeat,
+			Stats: func() fabric.WorkerStats {
+				m := srv.Metrics()
+				return fabric.WorkerStats{
+					CacheHits:   m.Cache.Hits,
+					CacheMisses: m.Cache.Misses,
+					InFlight:    m.InFlight,
+				}
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "cachesimd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cachesimd: fabric worker %q advertising %s to %s\n", id, selfURL, *coordinator)
+	}
+
 	select {
 	case err := <-errCh:
 		return err // listener died before any signal
@@ -140,9 +198,15 @@ func run() error {
 		fmt.Printf("cachesimd: %v: draining (up to %v)\n", sig, *drainTimeout)
 	}
 
-	// Drain: readiness off, stop taking connections, let in-flight
-	// requests finish, abandon stragglers, then flush and close the
-	// result store so every acknowledged result is durable.
+	// Drain: stop heartbeating first (the coordinator drains this worker
+	// from the ring within a TTL and re-routes its keys), then readiness
+	// off, stop taking connections, let in-flight requests finish,
+	// abandon stragglers, then flush and close the result store so every
+	// acknowledged result is durable.
+	if reg != nil {
+		regCancel()
+		reg.Wait()
+	}
 	srv.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

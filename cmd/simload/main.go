@@ -13,6 +13,12 @@
 // each attempt carries a deadline, and a circuit breaker fails fast —
 // and is reported — when the daemon stops answering altogether.
 //
+// Pointed at a cachesim-coord coordinator the same flags drive a whole
+// cluster (the coordinator speaks the identical /v1 surface); responses
+// then carry X-Fabric-Worker attribution, reported per worker: each
+// shard's traffic share and cache hits, i.e. ring balance and cache
+// heat as the client sees them.
+//
 //	go run ./cmd/simload -addr localhost:8344 -c 8 -duration 30s
 package main
 
@@ -47,6 +53,7 @@ type sample struct {
 	latency  time.Duration
 	source   string // hit | miss | coalesced | error:<class>
 	fidelity string // exact | screening | sampled
+	worker   string // X-Fabric-Worker attribution ("" against a single daemon)
 	attempts int
 }
 
@@ -228,15 +235,15 @@ func run() error {
 				lat := time.Since(start)
 				switch {
 				case errors.Is(err, client.ErrBreakerOpen):
-					local = append(local, sample{lat, "error:breaker-open", fid, 0})
+					local = append(local, sample{lat, "error:breaker-open", fid, "", 0})
 				case err != nil:
-					local = append(local, sample{lat, "error:exhausted", fid, *retries})
+					local = append(local, sample{lat, "error:exhausted", fid, "", *retries})
 				default:
 					src := res.Header.Get("X-Cache")
 					if tier := res.Header.Get("X-Cache-Tier"); tier == "disk" {
 						src = "hit-disk"
 					}
-					local = append(local, sample{lat, src, fid, res.Attempts})
+					local = append(local, sample{lat, src, fid, res.Header.Get(service.WorkerHeader), res.Attempts})
 				}
 			}
 			mu.Lock()
@@ -291,6 +298,39 @@ func report(samples []sample, d time.Duration, cs client.Stats) {
 		fmt.Println("by fidelity:")
 		for _, f := range fids {
 			fmt.Printf("  %-10s %s\n", f+":", describe(byFidelity[f]))
+		}
+	}
+	// Per-worker attribution: against a fabric coordinator (or a worker
+	// daemon), every response names the shard that served it. The shares
+	// make ring skew visible from the client side; the per-worker hit
+	// counts show each shard's cache staying hot under consistent-hash
+	// routing. Against a plain daemon no response carries the header and
+	// the section is skipped.
+	byWorker := map[string][]sample{}
+	for _, s := range samples {
+		if s.worker != "" {
+			byWorker[s.worker] = append(byWorker[s.worker], s)
+		}
+	}
+	if len(byWorker) > 0 {
+		ids := make([]string, 0, len(byWorker))
+		for id := range byWorker {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("by worker:")
+		for _, id := range ids {
+			ws := byWorker[id]
+			var lats []time.Duration
+			hits := 0
+			for _, s := range ws {
+				lats = append(lats, s.latency)
+				if s.source == "hit" || s.source == "hit-disk" {
+					hits++
+				}
+			}
+			fmt.Printf("  %-12s n=%-6d share=%4.1f%% hits=%-6d p50=%v\n",
+				id+":", len(ws), 100*float64(len(ws))/float64(len(samples)), hits, quantile(lats, 0.5))
 		}
 	}
 	fmt.Printf("resilience: attempts=%d retries=%d retry_after_obeyed=%d breaker_opens=%d breaker_rejects=%d requests_retried=%d\n",

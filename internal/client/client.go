@@ -9,9 +9,12 @@
 //     Retry-After header on 429/503 so the server's own pacing wins;
 //   - a per-attempt deadline, so one wedged request cannot absorb the
 //     whole retry budget;
-//   - a circuit breaker: after enough consecutive failures the client
-//     fails fast for a cooldown instead of hammering a struggling
-//     server, then lets one probe through (half-open) to test recovery.
+//   - a circuit breaker per endpoint: after enough consecutive failures
+//     against one server the client fails fast for a cooldown instead
+//     of hammering it, then lets one probe through (half-open) to test
+//     recovery. Breakers are keyed by scheme://host, so in a cluster
+//     one bad worker trips its own circuit without blacklisting the
+//     rest of the ring (the coordinator depends on this isolation).
 //
 // Retrying is sound here for the same reason caching is: results are
 // content-addressed and deterministic, so a replayed request is
@@ -25,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -117,6 +122,8 @@ type Result struct {
 
 // Stats counts what resilience cost: how often the client retried,
 // slept on a server's Retry-After, or failed fast on an open breaker.
+// Breaker counters aggregate over every endpoint the client has talked
+// to; BreakerStates breaks them out per endpoint.
 type Stats struct {
 	Calls          uint64 `json:"calls"`
 	Attempts       uint64 `json:"attempts"`
@@ -133,6 +140,39 @@ const (
 	breakerOpen
 	breakerHalfOpen
 )
+
+func (p breakerPhase) String() string {
+	switch p {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the circuit state of one endpoint. All fields are guarded
+// by the owning Client's mutex.
+type breaker struct {
+	phase    breakerPhase
+	failures int       // consecutive failed calls
+	openedAt time.Time // when the circuit opened
+	probing  bool      // a half-open probe is in flight
+	rejects  uint64
+	opens    uint64
+}
+
+// BreakerState is the externally visible circuit state of one endpoint,
+// reported by BreakerStates (and surfaced per worker on the
+// coordinator's /v1/cluster).
+type BreakerState struct {
+	Endpoint string `json:"endpoint"`
+	Phase    string `json:"phase"` // closed | open | half-open
+	Failures int    `json:"consecutive_failures"`
+	Opens    uint64 `json:"opens"`
+	Rejects  uint64 `json:"rejects"`
+}
 
 // splitmix64 is the repo's deterministic PRNG (see
 // internal/faultinject); used here for backoff jitter so load-test runs
@@ -157,10 +197,7 @@ type Client struct {
 
 	mu       sync.Mutex
 	rng      splitmix64
-	phase    breakerPhase
-	failures int       // consecutive failed calls
-	openedAt time.Time // when the circuit opened
-	probing  bool      // a half-open probe is in flight
+	breakers map[string]*breaker // endpoint (scheme://host) -> circuit
 	stats    Stats
 
 	// Injectable clocks for tests.
@@ -175,8 +212,9 @@ func New(o Options) (*Client, error) {
 	}
 	o = o.withDefaults()
 	return &Client{
-		opts: o,
-		rng:  splitmix64{state: o.Seed},
+		opts:     o,
+		rng:      splitmix64{state: o.Seed},
+		breakers: make(map[string]*breaker),
 		//lint:allow determinism breaker cooldowns are operational timing, never part of a result body
 		now:   func() time.Time { return time.Now() },
 		sleep: sleepCtx,
@@ -201,11 +239,65 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
+// BreakerStates snapshots every endpoint's circuit, sorted by endpoint
+// so the report order is stable.
+func (c *Client) BreakerStates() []BreakerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	eps := make([]string, 0, len(c.breakers))
+	//lint:allow determinism keys are collected and sorted below
+	for ep := range c.breakers {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	states := make([]BreakerState, 0, len(eps))
+	for _, ep := range eps {
+		b := c.breakers[ep]
+		states = append(states, BreakerState{
+			Endpoint: ep,
+			Phase:    b.phase.String(),
+			Failures: b.failures,
+			Opens:    b.opens,
+			Rejects:  b.rejects,
+		})
+	}
+	return states
+}
+
+// Endpoint reduces a request URL to its breaker key: the server it
+// names (scheme://host). Exported so the fabric coordinator can join
+// its per-worker view (worker addr) with this client's per-endpoint
+// breaker states.
+func Endpoint(rawurl string) string { return endpointOf(rawurl) }
+
+// endpointOf reduces a request URL to its breaker key: the server it
+// names (scheme://host). Every path on one server shares a circuit;
+// distinct servers never share one. An unparseable URL falls back to
+// the raw string — it still gets a consistent (if over-precise) key.
+func endpointOf(rawurl string) string {
+	u, err := url.Parse(rawurl)
+	if err != nil || u.Host == "" {
+		return rawurl
+	}
+	return u.Scheme + "://" + u.Host
+}
+
+// breakerFor returns the endpoint's circuit, creating a closed one on
+// first contact. Caller must hold c.mu.
+func (c *Client) breakerFor(endpoint string) *breaker {
+	b, ok := c.breakers[endpoint]
+	if !ok {
+		b = &breaker{}
+		c.breakers[endpoint] = b
+	}
+	return b
+}
+
 // PostJSON posts body to url with retries, per-attempt deadlines, and
 // the circuit breaker; it returns the first 2xx response. Non-retryable
 // statuses (4xx other than 429) return an error immediately.
 func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (Result, error) {
-	return c.call(ctx, func(actx context.Context) (*http.Request, error) {
+	return c.call(ctx, endpointOf(url), func(actx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return nil, fmt.Errorf("client: build request: %w", err)
@@ -217,7 +309,7 @@ func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (Result,
 
 // Get fetches url under the same resilience policy as PostJSON.
 func (c *Client) Get(ctx context.Context, url string) (Result, error) {
-	return c.call(ctx, func(actx context.Context) (*http.Request, error) {
+	return c.call(ctx, endpointOf(url), func(actx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
 		if err != nil {
 			return nil, fmt.Errorf("client: build request: %w", err)
@@ -226,8 +318,8 @@ func (c *Client) Get(ctx context.Context, url string) (Result, error) {
 	})
 }
 
-func (c *Client) call(ctx context.Context, build func(context.Context) (*http.Request, error)) (Result, error) {
-	if err := c.admit(); err != nil {
+func (c *Client) call(ctx context.Context, endpoint string, build func(context.Context) (*http.Request, error)) (Result, error) {
+	if err := c.admit(endpoint); err != nil {
 		return Result{}, err
 	}
 	var lastErr error
@@ -244,7 +336,7 @@ func (c *Client) call(ctx context.Context, build func(context.Context) (*http.Re
 		res, retryable, wait, err := c.attempt(ctx, build)
 		if err == nil {
 			res.Attempts = attempt + 1
-			c.settle(true)
+			c.settle(endpoint, true)
 			return res, nil
 		}
 		lastErr = err
@@ -256,7 +348,7 @@ func (c *Client) call(ctx context.Context, build func(context.Context) (*http.Re
 			break
 		}
 	}
-	c.settle(false)
+	c.settle(endpoint, false)
 	return Result{}, fmt.Errorf("%w: %w", ErrExhausted, lastErr)
 }
 
@@ -338,54 +430,61 @@ func (c *Client) backoff(attempt int, serverWait time.Duration) time.Duration {
 	return d/2 + time.Duration(f*float64(d/2))
 }
 
-// admit applies the circuit breaker at call entry.
-func (c *Client) admit() error {
+// admit applies the endpoint's circuit breaker at call entry.
+func (c *Client) admit(endpoint string) error {
 	if c.opts.BreakerThreshold < 0 {
+		c.mu.Lock()
+		c.stats.Calls++
+		c.mu.Unlock()
 		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Calls++
-	switch c.phase {
+	b := c.breakerFor(endpoint)
+	switch b.phase {
 	case breakerClosed:
 		return nil
 	case breakerOpen:
-		if c.now().Sub(c.openedAt) >= c.opts.BreakerCooldown {
-			c.phase = breakerHalfOpen
-			c.probing = true
+		if c.now().Sub(b.openedAt) >= c.opts.BreakerCooldown {
+			b.phase = breakerHalfOpen
+			b.probing = true
 			return nil // this call is the probe
 		}
 	case breakerHalfOpen:
-		if !c.probing {
-			c.probing = true
+		if !b.probing {
+			b.probing = true
 			return nil
 		}
 	}
+	b.rejects++
 	c.stats.BreakerRejects++
-	return fmt.Errorf("%w (cooldown %v)", ErrBreakerOpen, c.opts.BreakerCooldown)
+	return fmt.Errorf("%w: %s (cooldown %v)", ErrBreakerOpen, endpoint, c.opts.BreakerCooldown)
 }
 
-// settle records a call outcome in the breaker.
-func (c *Client) settle(ok bool) {
+// settle records a call outcome in the endpoint's breaker.
+func (c *Client) settle(endpoint string, ok bool) {
 	if c.opts.BreakerThreshold < 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.probing = false
+	b := c.breakerFor(endpoint)
+	b.probing = false
 	if ok {
-		c.failures = 0
-		c.phase = breakerClosed
+		b.failures = 0
+		b.phase = breakerClosed
 		return
 	}
-	c.failures++
-	if c.phase == breakerHalfOpen || c.failures >= c.opts.BreakerThreshold {
-		if c.phase != breakerOpen {
+	b.failures++
+	if b.phase == breakerHalfOpen || b.failures >= c.opts.BreakerThreshold {
+		if b.phase != breakerOpen {
+			b.opens++
 			c.stats.BreakerOpens++
 		}
-		c.phase = breakerOpen
-		c.openedAt = c.now()
-		c.failures = 0
+		b.phase = breakerOpen
+		b.openedAt = c.now()
+		b.failures = 0
 	}
 }
 

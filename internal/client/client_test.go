@@ -218,6 +218,85 @@ func TestBreakerOpensFailsFastThenRecovers(t *testing.T) {
 	}
 }
 
+// TestBreakerIsolationPerEndpoint pins the cluster-critical property:
+// circuits are per endpoint, so one dead worker trips its own breaker
+// while calls to a healthy worker keep flowing — and the healthy
+// worker's successes never reset the dead worker's failure count.
+func TestBreakerIsolationPerEndpoint(t *testing.T) {
+	var healthyCalls, deadCalls atomic.Int64
+	healthy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		healthyCalls.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer healthy.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		deadCalls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+
+	c, _ := newTestClient(t, Options{MaxAttempts: 1, BreakerThreshold: 3})
+	ctx := context.Background()
+
+	// Interleave: failures against dead must accumulate even though
+	// healthy keeps succeeding in between.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(ctx, dead.URL); !errors.Is(err, ErrExhausted) {
+			t.Fatalf("dead call %d: %v", i, err)
+		}
+		if _, err := c.Get(ctx, healthy.URL); err != nil {
+			t.Fatalf("healthy call %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d, want exactly the dead endpoint's: %+v", st.BreakerOpens, st)
+	}
+
+	// The dead endpoint fails fast; the healthy one is untouched by it.
+	if _, err := c.Get(ctx, dead.URL); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("dead endpoint circuit not open: %v", err)
+	}
+	before := healthyCalls.Load()
+	if _, err := c.Get(ctx, healthy.URL); err != nil {
+		t.Fatalf("healthy endpoint caught the dead one's breaker: %v", err)
+	}
+	if healthyCalls.Load() != before+1 {
+		t.Fatal("healthy call did not reach its server")
+	}
+
+	states := c.BreakerStates()
+	if len(states) != 2 {
+		t.Fatalf("breaker states = %d endpoints, want 2: %+v", len(states), states)
+	}
+	byEp := map[string]BreakerState{}
+	for _, s := range states {
+		byEp[s.Endpoint] = s
+	}
+	if s := byEp[endpointOf(dead.URL)]; s.Phase != "open" || s.Opens != 1 || s.Rejects != 1 {
+		t.Fatalf("dead endpoint state %+v", s)
+	}
+	if s := byEp[endpointOf(healthy.URL)]; s.Phase != "closed" || s.Opens != 0 {
+		t.Fatalf("healthy endpoint state %+v", s)
+	}
+}
+
+func TestEndpointOf(t *testing.T) {
+	cases := [][2]string{
+		{"http://localhost:8344/v1/sweep", "http://localhost:8344"},
+		{"http://localhost:8344/v1/sim", "http://localhost:8344"},
+		{"https://a.example:9/x?y=z", "https://a.example:9"},
+		{"not a url", "not a url"},
+	}
+	for _, c := range cases {
+		if got := endpointOf(c[0]); got != c[1] {
+			t.Errorf("endpointOf(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+	if endpointOf("http://h:1/a") == endpointOf("http://h:2/a") {
+		t.Error("distinct ports must be distinct endpoints")
+	}
+}
+
 func TestBreakerDisabled(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "down", http.StatusServiceUnavailable)

@@ -1,0 +1,208 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WorkerStats is the small operational snapshot a worker piggybacks on
+// each heartbeat, surfaced per worker on /v1/cluster so ring skew and
+// per-shard cache health are visible without scraping N daemons.
+type WorkerStats struct {
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	InFlight    int64  `json:"in_flight"`
+}
+
+// Member is one registered worker as the coordinator sees it.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"` // base URL, e.g. http://127.0.0.1:9001
+	// AgeSeconds and SinceHeartbeatSeconds are derived at snapshot time;
+	// absolute wall-clock instants never leave the coordinator.
+	AgeSeconds            float64     `json:"age_seconds"`
+	SinceHeartbeatSeconds float64     `json:"since_heartbeat_seconds"`
+	Stats                 WorkerStats `json:"stats"`
+}
+
+// member is the internal record behind a Member snapshot.
+type member struct {
+	id       string
+	addr     string
+	joined   time.Time
+	lastSeen time.Time
+	stats    WorkerStats
+}
+
+// Membership is the heartbeat-driven worker registry. Workers join by
+// heartbeating and leave by missing them: Expire drains anyone silent
+// for longer than the TTL. The consistent-hash ring is rebuilt on every
+// change of the member *set* (not on every heartbeat) and shared
+// read-only, so routing is lock-free once looked up.
+type Membership struct {
+	ttl    time.Duration
+	vnodes int
+
+	mu      sync.Mutex
+	members map[string]*member
+	ring    *Ring  // current ring; rebuilt when the member set changes
+	version uint64 // bumped on every membership change
+
+	now func() time.Time // injectable for tests
+}
+
+// NewMembership builds an empty registry. ttl <= 0 defaults to
+// DefaultHeartbeatTTL; vnodes <= 0 defaults to DefaultVnodes.
+func NewMembership(ttl time.Duration, vnodes int) *Membership {
+	if ttl <= 0 {
+		ttl = DefaultHeartbeatTTL
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Membership{
+		ttl:     ttl,
+		vnodes:  vnodes,
+		members: make(map[string]*member),
+		ring:    NewRing(nil, vnodes),
+		//lint:allow determinism heartbeat liveness is operational timing, never part of a result body
+		now: func() time.Time { return time.Now() },
+	}
+}
+
+// DefaultHeartbeatTTL is how long a silent worker stays in the ring.
+// Three missed 1s heartbeats plus slack: fast enough that a dead worker
+// stops receiving routes within a few seconds, slow enough that one
+// dropped packet doesn't reshuffle the ring.
+const DefaultHeartbeatTTL = 5 * time.Second
+
+// Heartbeat registers or refreshes a worker and records its stats
+// snapshot. It reports whether this call changed the member set (a new
+// worker, or an address change for an existing ID — the latter counts
+// as a change because routed traffic must move to the new address).
+func (m *Membership) Heartbeat(id, addr string, ws WorkerStats) (joined bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now()
+	mem, ok := m.members[id]
+	if !ok {
+		m.members[id] = &member{id: id, addr: addr, joined: t, lastSeen: t, stats: ws}
+		m.rebuildLocked()
+		return true
+	}
+	changed := mem.addr != addr
+	mem.addr = addr
+	mem.lastSeen = t
+	mem.stats = ws
+	if changed {
+		m.version++
+	}
+	return changed
+}
+
+// Expire drains every worker whose last heartbeat is older than the
+// TTL, returning the removed IDs (sorted). The ring is rebuilt once if
+// anything was removed; survivors keep their vnode positions, so only
+// the drained workers' key ranges move (ring_test.go pins the bound).
+func (m *Membership) Expire() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cutoff := m.now().Add(-m.ttl)
+	var removed []string
+	//lint:allow determinism removals are collected and sorted below
+	for id, mem := range m.members {
+		if mem.lastSeen.Before(cutoff) {
+			removed = append(removed, id)
+		}
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	sort.Strings(removed)
+	for _, id := range removed {
+		delete(m.members, id)
+	}
+	m.rebuildLocked()
+	return removed
+}
+
+// Remove drains one worker immediately (the coordinator calls this when
+// a worker answers in a way that proves it is gone, rather than waiting
+// a full TTL). Reports whether the worker was present.
+func (m *Membership) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.members[id]; !ok {
+		return false
+	}
+	delete(m.members, id)
+	m.rebuildLocked()
+	return true
+}
+
+// rebuildLocked recomputes the ring from the current member set.
+// Caller holds m.mu.
+func (m *Membership) rebuildLocked() {
+	ids := make([]string, 0, len(m.members))
+	//lint:allow determinism NewRing sorts its member list
+	for id := range m.members {
+		ids = append(ids, id)
+	}
+	m.ring = NewRing(ids, m.vnodes)
+	m.version++
+}
+
+// Ring returns the current ring. The returned value is immutable; hold
+// it for one routing decision and re-fetch for the next.
+func (m *Membership) Ring() *Ring {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring
+}
+
+// Version reports the membership change counter (joins, drains, address
+// moves). /v1/cluster exposes it so tests and operators can wait for
+// "the ring settled" instead of sleeping.
+func (m *Membership) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Addr resolves a member ID to its base URL.
+func (m *Membership) Addr(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[id]
+	if !ok {
+		return "", false
+	}
+	return mem.addr, true
+}
+
+// Snapshot lists the members sorted by ID, with liveness rendered as
+// relative ages.
+func (m *Membership) Snapshot() []Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now()
+	ids := make([]string, 0, len(m.members))
+	//lint:allow determinism keys are collected and sorted below
+	for id := range m.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		mem := m.members[id]
+		out = append(out, Member{
+			ID:                    mem.id,
+			Addr:                  mem.addr,
+			AgeSeconds:            t.Sub(mem.joined).Seconds(),
+			SinceHeartbeatSeconds: t.Sub(mem.lastSeen).Seconds(),
+			Stats:                 mem.stats,
+		})
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// newTestMembership pins the clock so TTL expiry is driven by the test,
+// not the scheduler.
+func newTestMembership(ttl time.Duration) (*Membership, *time.Time) {
+	m := NewMembership(ttl, 16)
+	clock := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	m.now = func() time.Time { return clock }
+	return m, &clock
+}
+
+func TestMembershipJoinAndDrain(t *testing.T) {
+	m, clock := newTestMembership(5 * time.Second)
+
+	if !m.Heartbeat("w0", "http://h:1", WorkerStats{}) {
+		t.Fatal("first heartbeat must report a join")
+	}
+	if m.Heartbeat("w0", "http://h:1", WorkerStats{CacheHits: 3}) {
+		t.Fatal("repeat heartbeat must not report a join")
+	}
+	m.Heartbeat("w1", "http://h:2", WorkerStats{})
+	if got := m.Ring().Members(); !reflect.DeepEqual(got, []string{"w0", "w1"}) {
+		t.Fatalf("ring members %v", got)
+	}
+
+	// w1 keeps heartbeating; w0 goes silent past the TTL.
+	*clock = clock.Add(3 * time.Second)
+	m.Heartbeat("w1", "http://h:2", WorkerStats{})
+	*clock = clock.Add(3 * time.Second)
+	removed := m.Expire()
+	if !reflect.DeepEqual(removed, []string{"w0"}) {
+		t.Fatalf("expired %v, want [w0]", removed)
+	}
+	if got := m.Ring().Members(); !reflect.DeepEqual(got, []string{"w1"}) {
+		t.Fatalf("ring after drain %v", got)
+	}
+	if m.Expire() != nil {
+		t.Fatal("second expire must be a no-op")
+	}
+
+	// Rejoin: same ID returns, ring recovers the same member set and —
+	// by ring determinism — identical routing.
+	m.Heartbeat("w0", "http://h:1", WorkerStats{})
+	if got := m.Ring().Members(); !reflect.DeepEqual(got, []string{"w0", "w1"}) {
+		t.Fatalf("ring after rejoin %v", got)
+	}
+}
+
+func TestMembershipAddrMoveRebuildsRouting(t *testing.T) {
+	m, _ := newTestMembership(5 * time.Second)
+	m.Heartbeat("w0", "http://h:1", WorkerStats{})
+	v := m.Version()
+	if m.Heartbeat("w0", "http://h:9", WorkerStats{}) != true {
+		t.Fatal("address change must report a membership change")
+	}
+	if m.Version() == v {
+		t.Fatal("address change must bump the version")
+	}
+	if addr, ok := m.Addr("w0"); !ok || addr != "http://h:9" {
+		t.Fatalf("Addr = %q, %v", addr, ok)
+	}
+}
+
+func TestMembershipSnapshotAndStats(t *testing.T) {
+	m, clock := newTestMembership(10 * time.Second)
+	m.Heartbeat("b", "http://h:2", WorkerStats{CacheHits: 7, CacheMisses: 2, InFlight: 1})
+	m.Heartbeat("a", "http://h:1", WorkerStats{})
+	*clock = clock.Add(2 * time.Second)
+
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "a" || snap[1].ID != "b" {
+		t.Fatalf("snapshot %v", snap)
+	}
+	if snap[1].Stats.CacheHits != 7 || snap[1].Stats.InFlight != 1 {
+		t.Fatalf("stats not carried: %+v", snap[1].Stats)
+	}
+	if snap[0].SinceHeartbeatSeconds != 2 {
+		t.Fatalf("since-heartbeat %v, want 2s", snap[0].SinceHeartbeatSeconds)
+	}
+	if _, ok := m.Addr("missing"); ok {
+		t.Fatal("unknown member resolved")
+	}
+}
+
+func TestMembershipRemove(t *testing.T) {
+	m, _ := newTestMembership(time.Second)
+	m.Heartbeat("w0", "http://h:1", WorkerStats{})
+	if !m.Remove("w0") {
+		t.Fatal("remove of a present member must report true")
+	}
+	if m.Remove("w0") {
+		t.Fatal("double remove must report false")
+	}
+	if m.Ring().Size() != 0 {
+		t.Fatal("ring not emptied")
+	}
+}

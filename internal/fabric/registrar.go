@@ -1,0 +1,146 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RegistrarOptions configures a worker's heartbeat loop.
+type RegistrarOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// ID is this worker's stable fabric identity. It names the worker in
+	// the ring, so restarting under the same ID reclaims the same key
+	// ranges (and the warm disk store behind them).
+	ID string
+	// Addr is this worker's base URL as the coordinator should dial it.
+	Addr string
+	// Interval between heartbeats (default DefaultHeartbeatTTL/3, so a
+	// worker survives two dropped beats before the TTL drains it).
+	Interval time.Duration
+	// Stats, when set, is sampled at each beat and piggybacked for
+	// /v1/cluster reporting.
+	Stats func() WorkerStats
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Logf, when set, receives heartbeat failures (rate-limited to state
+	// changes: first failure and recovery, not every miss).
+	Logf func(format string, args ...any)
+}
+
+func (o RegistrarOptions) withDefaults() RegistrarOptions {
+	if o.Interval <= 0 {
+		o.Interval = DefaultHeartbeatTTL / 3
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	return o
+}
+
+// Registrar keeps one worker registered with the coordinator: an
+// immediate join beat, then a steady heartbeat until its context is
+// cancelled. Heartbeat failures are counted, not fatal — the worker
+// keeps serving direct traffic, and the next successful beat rejoins
+// the ring without a full reshuffle (survivors keep their vnode
+// positions).
+type Registrar struct {
+	opts RegistrarOptions
+	wg   sync.WaitGroup
+
+	beats    atomic.Uint64 // successful heartbeats
+	failures atomic.Uint64 // failed heartbeats
+	down     atomic.Bool   // last beat failed (for state-change logging)
+}
+
+// StartRegistrar validates the options and starts the heartbeat loop.
+// Cancel ctx to stop it; Wait blocks until the loop exits.
+func StartRegistrar(ctx context.Context, o RegistrarOptions) (*Registrar, error) {
+	if o.Coordinator == "" || o.ID == "" || o.Addr == "" {
+		return nil, fmt.Errorf("fabric: registrar needs coordinator, id, and addr (got %q, %q, %q)",
+			o.Coordinator, o.ID, o.Addr)
+	}
+	r := &Registrar{opts: o.withDefaults()}
+	r.wg.Add(1)
+	go r.loop(ctx)
+	return r, nil
+}
+
+// Wait blocks until the heartbeat loop has exited (after ctx cancel).
+func (r *Registrar) Wait() { r.wg.Wait() }
+
+// Beats reports successful heartbeats; Failures reports failed ones.
+func (r *Registrar) Beats() uint64    { return r.beats.Load() }
+func (r *Registrar) Failures() uint64 { return r.failures.Load() }
+
+func (r *Registrar) loop(ctx context.Context) {
+	defer r.wg.Done()
+	r.beat(ctx)
+	t := time.NewTicker(r.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.beat(ctx)
+		}
+	}
+}
+
+// beat sends one registration heartbeat. A single beat gets one
+// attempt under a deadline shorter than the interval: the loop itself
+// is the retry policy, and overlapping beats would reorder stats.
+func (r *Registrar) beat(ctx context.Context) {
+	var stats WorkerStats
+	if r.opts.Stats != nil {
+		stats = r.opts.Stats()
+	}
+	err := r.post(ctx, stats)
+	if err != nil {
+		r.failures.Add(1)
+		if !r.down.Swap(true) && r.opts.Logf != nil {
+			r.opts.Logf("fabric: heartbeat to %s failing: %v", r.opts.Coordinator, err)
+		}
+		return
+	}
+	r.beats.Add(1)
+	if r.down.Swap(false) && r.opts.Logf != nil {
+		r.opts.Logf("fabric: heartbeat to %s recovered", r.opts.Coordinator)
+	}
+}
+
+func (r *Registrar) post(ctx context.Context, stats WorkerStats) error {
+	body, err := json.Marshal(RegisterRequest{ID: r.opts.ID, Addr: r.opts.Addr, Stats: stats})
+	if err != nil {
+		return fmt.Errorf("fabric: marshal heartbeat: %w", err)
+	}
+	bctx, cancel := context.WithTimeout(ctx, r.opts.Interval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(bctx, http.MethodPost,
+		r.opts.Coordinator+"/v1/fabric/register", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fabric: build heartbeat: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.opts.HTTPClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fabric: heartbeat: %w", err)
+	}
+	defer resp.Body.Close()
+	// Drain so the transport can reuse the connection.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return fmt.Errorf("fabric: heartbeat response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fabric: heartbeat rejected: status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package fabric is the distributed sweep fabric: the pieces that turn
+// N independent cachesimd daemons into one cluster-wide
+// content-addressed result cache.
+//
+// The load-bearing idea is the same one that makes the single-node
+// cache sound, applied across processes: a result is a pure function of
+// its content address (service.SweepKey / service.SimKey), so *where* a
+// request runs never changes *what* it answers. Routing every request
+// to the worker that owns its key on a consistent-hash ring (ring.go)
+// therefore costs nothing in correctness and buys two things:
+//
+//   - each worker's in-memory LRU and disk store stay hot for the key
+//     range it owns — the cluster-wide hit ratio approaches a single
+//     node's with N times the capacity;
+//   - no result is computed twice cluster-wide: identical requests from
+//     any client land on the same worker and coalesce or hit there.
+//
+// Membership is heartbeat-driven (membership.go): workers register and
+// re-register with the coordinator (coordinator.go); missing enough
+// heartbeats drains a worker from the ring, and consistent hashing
+// bounds the fallout — only ~K/N of K keys move when one of N workers
+// joins or leaves, which ring_test.go pins as an invariant.
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVnodes is the default number of virtual points each member
+// projects onto the ring. More vnodes smooth the key distribution
+// (stddev of shard sizes shrinks like 1/sqrt(vnodes)) at a small cost
+// in ring build time and memory.
+const DefaultVnodes = 64
+
+// Ring is an immutable consistent-hash ring over a member set. Build
+// one with NewRing; rebuild (cheap, deterministic) when membership
+// changes. Lookups walk clockwise from the key's point, so removing a
+// member only reassigns the keys that member owned, and adding one only
+// claims the key ranges its vnodes land on.
+type Ring struct {
+	vnodes  int
+	members []string // sorted, distinct
+	points  []point  // sorted by hash
+}
+
+// point is one virtual node: a position on the ring owned by a member.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds the ring for the given member set. The input order is
+// irrelevant (members are deduplicated and sorted first): the same set
+// always yields an identical ring, which is what lets every coordinator
+// replica — and a coordinator across a worker's leave/rejoin — agree on
+// routing without coordination.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	set := make(map[string]bool, len(members))
+	for _, m := range members {
+		set[m] = true
+	}
+	distinct := make([]string, 0, len(set))
+	//lint:allow determinism keys are collected and sorted below
+	for m := range set {
+		distinct = append(distinct, m)
+	}
+	sort.Strings(distinct)
+
+	r := &Ring{
+		vnodes:  vnodes,
+		members: distinct,
+		points:  make([]point, 0, len(distinct)*vnodes),
+	}
+	for _, m := range distinct {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:   hashPoint(m + "#" + strconv.Itoa(v)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit hash collision between vnodes is vanishingly rare but
+		// must still order deterministically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// hashPoint positions a label (vnode name or request key) on the ring:
+// the first 8 bytes of its SHA-256, big endian. SHA-256 rather than a
+// cheaper hash because request keys are themselves SHA-256 hex strings
+// and vnode labels are short — uniformity matters more than speed at
+// ring-build frequency.
+func hashPoint(label string) uint64 {
+	sum := sha256.Sum256([]byte(label))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the sorted member set the ring was built from.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Size reports the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Lookup returns up to n distinct members ordered by the clockwise ring
+// walk from key's position: the owner first, then the replicas a
+// hedged or failed-over request should try next. n <= 0 or n > members
+// returns every member in walk order.
+func (r *Ring) Lookup(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashPoint(key)
+	// First point at or after h, wrapping at the top of the ring.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Owner returns the member that owns key (the first hop of Lookup), or
+// an error on an empty ring.
+func (r *Ring) Owner(key string) (string, error) {
+	owners := r.Lookup(key, 1)
+	if len(owners) == 0 {
+		return "", fmt.Errorf("fabric: ring has no members")
+	}
+	return owners[0], nil
+}

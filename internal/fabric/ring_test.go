@@ -1,0 +1,190 @@
+package fabric
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// keys returns n distinct content-address-shaped keys.
+func testKeys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return ks
+}
+
+func members(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("worker-%d", i)
+	}
+	return ms
+}
+
+// TestRingDeterministic: the same member set — in any order — yields
+// byte-identical routing. This is what lets a worker leave and rejoin
+// without any key that stayed put moving, and two coordinators agree
+// without talking to each other.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"w2", "w0", "w1"}, 64)
+	b := NewRing([]string{"w1", "w2", "w0"}, 64)
+	c := NewRing([]string{"w0", "w1", "w2", "w1"}, 64) // dup collapses
+
+	if !reflect.DeepEqual(a.Members(), []string{"w0", "w1", "w2"}) {
+		t.Fatalf("members %v", a.Members())
+	}
+	for _, key := range testKeys(500) {
+		ra, rb, rc := a.Lookup(key, 3), b.Lookup(key, 3), c.Lookup(key, 3)
+		if !reflect.DeepEqual(ra, rb) || !reflect.DeepEqual(ra, rc) {
+			t.Fatalf("key %s routes differently: %v %v %v", key[:8], ra, rb, rc)
+		}
+		if len(ra) != 3 || ra[0] == ra[1] || ra[1] == ra[2] || ra[0] == ra[2] {
+			t.Fatalf("lookup must return distinct members in walk order: %v", ra)
+		}
+	}
+}
+
+// TestRingKeyMovementBound pins the consistent-hashing contract: going
+// from N to N+1 members moves only the keys the new member claims —
+// about K/(N+1) of them — and every moved key moves *to* the new
+// member. Leaving reverses it exactly.
+func TestRingKeyMovementBound(t *testing.T) {
+	const K = 4000
+	keys := testKeys(K)
+	for _, n := range []int{2, 3, 5, 8} {
+		base := NewRing(members(n), 64)
+		grown := NewRing(append(members(n), "worker-new"), 64)
+
+		moved := 0
+		for _, key := range keys {
+			ob, _ := base.Owner(key)
+			og, _ := grown.Owner(key)
+			if ob != og {
+				moved++
+				if og != "worker-new" {
+					t.Fatalf("n=%d key %s moved %s -> %s, not to the joining member", n, key[:8], ob, og)
+				}
+			}
+		}
+		// Expectation is K/(n+1); allow 2x slack for hash variance at 64
+		// vnodes. The point of the bound is the order of magnitude: a
+		// modulo-hash scheme would move ~n/(n+1) of all keys.
+		bound := 2 * K / (n + 1)
+		if moved == 0 || moved > bound {
+			t.Errorf("n=%d: %d/%d keys moved on join, want (0, %d]", n, moved, K, bound)
+		}
+
+		// Leave = the inverse join: removing the member it just added
+		// restores every assignment.
+		shrunk := NewRing(append(members(n), "worker-new"), 64)
+		back := NewRing(members(n), 64)
+		_ = shrunk
+		for _, key := range keys {
+			ob, _ := base.Owner(key)
+			oback, _ := back.Owner(key)
+			if ob != oback {
+				t.Fatalf("n=%d: rebuild of the same set changed owner of %s", n, key[:8])
+			}
+		}
+	}
+}
+
+// TestRingChurnStability drives a join/leave/rejoin sequence and checks
+// two properties at every step: keys whose owner survived the change
+// keep their owner, and a full leave+rejoin restores the original
+// routing (so a worker bouncing through a TTL expiry gets its shard —
+// and its warm disk store — back).
+func TestRingChurnStability(t *testing.T) {
+	keys := testKeys(2000)
+	owners := func(r *Ring) map[string]string {
+		m := make(map[string]string, len(keys))
+		for _, k := range keys {
+			o, err := r.Owner(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[k] = o
+		}
+		return m
+	}
+
+	set := []string{"w0", "w1", "w2"}
+	r0 := NewRing(set, 64)
+	o0 := owners(r0)
+
+	// Step 1: w1 dies.
+	r1 := NewRing([]string{"w0", "w2"}, 64)
+	o1 := owners(r1)
+	for _, k := range keys {
+		if o0[k] != "w1" && o1[k] != o0[k] {
+			t.Fatalf("key %s owned by surviving %s moved to %s when w1 left", k[:8], o0[k], o1[k])
+		}
+		if o0[k] == "w1" && (o1[k] != "w0" && o1[k] != "w2") {
+			t.Fatalf("orphaned key %s routed nowhere: %s", k[:8], o1[k])
+		}
+	}
+
+	// Step 2: w3 joins the degraded ring.
+	r2 := NewRing([]string{"w0", "w2", "w3"}, 64)
+	o2 := owners(r2)
+	for _, k := range keys {
+		if o2[k] != o1[k] && o2[k] != "w3" {
+			t.Fatalf("key %s moved %s -> %s on w3 join (only moves to w3 are legal)", k[:8], o1[k], o2[k])
+		}
+	}
+
+	// Step 3: w1 rejoins, w3 leaves — back to a 3-set containing w1.
+	r3 := NewRing([]string{"w0", "w1", "w2"}, 64)
+	o3 := owners(r3)
+	if !reflect.DeepEqual(o0, o3) {
+		diff := 0
+		for k := range o0 {
+			if o0[k] != o3[k] {
+				diff++
+			}
+		}
+		t.Fatalf("leave+rejoin did not restore routing: %d/%d keys differ", diff, len(keys))
+	}
+}
+
+// TestRingDistribution sanity-checks vnode smoothing: no member owns a
+// grossly disproportionate share of keys.
+func TestRingDistribution(t *testing.T) {
+	const K = 8000
+	r := NewRing(members(4), DefaultVnodes)
+	counts := map[string]int{}
+	for _, k := range testKeys(K) {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	for _, m := range r.Members() {
+		share := float64(counts[m]) / K
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys; vnode smoothing is broken (%v)", m, 100*share, counts)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if got := empty.Lookup("abc", 2); got != nil {
+		t.Fatalf("empty ring lookup = %v", got)
+	}
+	if _, err := empty.Owner("abc"); err == nil {
+		t.Fatal("empty ring must error on Owner")
+	}
+	one := NewRing([]string{"solo"}, 8)
+	if got, _ := one.Owner("anything"); got != "solo" {
+		t.Fatalf("single-member ring owner = %q", got)
+	}
+	if got := one.Lookup("anything", 5); len(got) != 1 {
+		t.Fatalf("lookup beyond member count = %v", got)
+	}
+	// n <= 0 means "all members, walk order".
+	three := NewRing(members(3), 8)
+	if got := three.Lookup("k", 0); len(got) != 3 {
+		t.Fatalf("Lookup(k, 0) = %v, want all members", got)
+	}
+}

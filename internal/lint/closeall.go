@@ -35,6 +35,7 @@ var CloseAll = &Analyzer{
 		"repro/internal/client",
 		"repro/internal/harness",
 		"repro/internal/faultinject",
+		"repro/internal/fabric",
 	),
 	Run: runCloseAll,
 }

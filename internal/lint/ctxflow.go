@@ -27,6 +27,7 @@ var CtxFlow = &Analyzer{
 		"repro/internal/service",
 		"repro/internal/client",
 		"repro/internal/harness",
+		"repro/internal/fabric",
 	),
 	Run: runCtxFlow,
 }

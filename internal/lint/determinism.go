@@ -48,6 +48,10 @@ var determinismScope = pathIn(
 	"repro/internal/store",
 	"repro/internal/faultinject",
 	"repro/internal/client",
+	// The fabric coordinator relays worker-produced result bytes
+	// verbatim; its own wall-clock uses (heartbeat liveness, hedge
+	// timers, uptime) are operational and individually allowlisted.
+	"repro/internal/fabric",
 )
 
 // Determinism forbids the nondeterminism sources in simulator and

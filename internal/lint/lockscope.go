@@ -47,6 +47,7 @@ var LockScope = &Analyzer{
 		"repro/internal/client",
 		"repro/internal/harness",
 		"repro/internal/faultinject",
+		"repro/internal/fabric",
 	),
 	Run: runLockScope,
 }

@@ -54,6 +54,12 @@ const (
 	FidelitySampled   = experiments.FidelitySampled
 )
 
+// WorkerHeader names the fabric worker that served a result. A worker
+// daemon (Options.WorkerID) stamps it on every result response; the
+// coordinator forwards it verbatim, so a client always learns which
+// shard answered.
+const WorkerHeader = "X-Fabric-Worker"
+
 // Request validation bounds. Scale and level are multiplicative
 // simulation costs; an absurd value is a denial-of-service request, not
 // an experiment.
@@ -220,6 +226,32 @@ func cacheKey(kind string, normalized any) string {
 	}
 	sum := sha256.Sum256(payload)
 	return hex.EncodeToString(sum[:])
+}
+
+// SweepKey returns the content address of a sweep request: the same
+// key the serving cache and disk store use. The distributed fabric
+// routes on it — computing the key coordinator-side and worker-side
+// from the same normalized request is what makes ring routing
+// cache-coherent (the worker that owns a key is the worker whose LRU
+// and store are hot for it). Invalid requests return the validation
+// error instead of a key, so the coordinator rejects them without
+// spending a network hop.
+func SweepKey(r SweepRequest) (string, error) {
+	r = r.normalize()
+	if err := r.validate(); err != nil {
+		return "", err
+	}
+	return cacheKey("sweep", r), nil
+}
+
+// SimKey returns the content address of a single-configuration run,
+// under the same contract as SweepKey.
+func SimKey(r SimRequest) (string, error) {
+	r = r.normalize()
+	if err := r.validate(); err != nil {
+		return "", err
+	}
+	return cacheKey("sim", r), nil
 }
 
 // storeKey namespaces a cache key for the disk tier. CodeVersion is

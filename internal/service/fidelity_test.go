@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -125,19 +126,25 @@ func TestExperimentsListMarksFidelities(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deprecated boolean was removed after its one-release grace
+	// period; the per-id fidelities array is the only spelling now.
+	if strings.Contains(string(raw), `"screening":`) {
+		t.Fatalf("deprecated screening boolean still emitted:\n%s", raw)
+	}
 	var list []struct {
 		ID         string   `json:"id"`
 		Fidelities []string `json:"fidelities"`
-		Screening  bool     `json:"screening"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+	if err := json.Unmarshal(raw, &list); err != nil {
 		t.Fatal(err)
 	}
 	byID := map[string][]string{}
-	scr := map[string]bool{}
 	for _, e := range list {
 		byID[e.ID] = e.Fidelities
-		scr[e.ID] = e.Screening
 	}
 	has := func(id, f string) bool {
 		for _, g := range byID[id] {
@@ -163,11 +170,5 @@ func TestExperimentsListMarksFidelities(t *testing.T) {
 	}
 	if has("fig3", FidelitySampled) {
 		t.Error("fig3 wrongly marked sampled-capable")
-	}
-	// The deprecated boolean must keep tracking screening support for
-	// one more release.
-	if !scr["fastsweep"] || scr["fig2"] {
-		t.Errorf("deprecated screening flag drifted: fastsweep=%v fig2=%v",
-			scr["fastsweep"], scr["fig2"])
 	}
 }

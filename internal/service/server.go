@@ -47,6 +47,12 @@ type Options struct {
 	// requested but failed to open; /readyz then reports the daemon as
 	// degraded-but-serving (memory-only) instead of silently healthy.
 	StoreOpenError string
+	// WorkerID, when set, marks this daemon as a fabric worker: every
+	// result response carries it in an X-Fabric-Worker header so
+	// clients (and simload's per-worker attribution) can see which
+	// shard answered, whether they reached the worker directly or
+	// through a coordinator that forwarded the header.
+	WorkerID string
 }
 
 const (
@@ -384,6 +390,9 @@ func (s *Server) respond(w http.ResponseWriter, start time.Time, source, tier, k
 	}
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
+	if s.opts.WorkerID != "" {
+		h.Set(WorkerHeader, s.opts.WorkerID)
+	}
 	h.Set("X-Cache", source)
 	if tier != "" {
 		h.Set("X-Cache-Tier", tier)
@@ -496,11 +505,10 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		ID    string `json:"id"`
 		Title string `json:"title"`
 		// Fidelities lists every engine that can run this experiment
-		// ("exact" always, plus "screening" and/or "sampled").
+		// ("exact" always, plus "screening" and/or "sampled"). The old
+		// boolean `screening` field (deprecated in the previous release
+		// in favor of this list) is gone.
 		Fidelities []string `json:"fidelities"`
-		// Screening is deprecated: read Fidelities instead. Kept one
-		// release for clients still keying on the boolean.
-		Screening bool `json:"screening,omitempty"`
 	}
 	reg := experiments.Registry()
 	list := make([]entry, 0, len(reg))
@@ -512,7 +520,7 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 		if experiments.SupportsSampled(e.ID) {
 			fids = append(fids, FidelitySampled)
 		}
-		list = append(list, entry{e.ID, e.Title, fids, experiments.SupportsScreening(e.ID)})
+		list = append(list, entry{e.ID, e.Title, fids})
 	}
 	writeJSON(w, http.StatusOK, list)
 }
